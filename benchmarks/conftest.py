@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures, prints
+the rows/series, writes them to ``benchmarks/out/<name>.txt``, and
+asserts the qualitative shape the paper reports.  Simulation budgets
+default to a quick setting here; export ``REPRO_SIM_BATCHES`` /
+``REPRO_SIM_QUERIES`` to push the validation benches toward the
+paper's 20 x 10^6 queries.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Write an experiment's text output to benchmarks/out and echo it."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print("\n" + text)
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

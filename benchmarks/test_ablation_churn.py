@@ -1,0 +1,68 @@
+"""Ablation — quantifying update-induced degradation with the model.
+
+The paper pitches its model for judging "the quality of any R-tree
+update operation ... as measured by query performance of the resulting
+tree".  This bench does exactly that for a workload the paper never
+ran: start from a Hilbert-packed tree, churn an increasing share of
+the data through dynamic delete + reinsert, and track the modelled
+disk accesses of the resulting trees."""
+
+import numpy as np
+
+from repro.experiments.common import Table, get_dataset
+from repro.model import buffer_model
+from repro.packing import load_tree
+from repro.queries import UniformPointWorkload
+from repro.rtree import TreeDescription, check_tree
+
+from .conftest import run_once
+
+DATA_SIZE = 8_000
+CAPACITY = 25
+BUFFER = 50
+CHURN_LEVELS = (0.0, 0.1, 0.3, 0.6)
+
+
+def _run():
+    data = get_dataset("region", DATA_SIZE)
+    rects = list(data)
+    workload = UniformPointWorkload()
+    rng = np.random.default_rng(99)
+    rows = []
+    for churn in CHURN_LEVELS:
+        tree = load_tree("hs", data, CAPACITY)
+        count = int(churn * DATA_SIZE)
+        victims = rng.choice(DATA_SIZE, size=count, replace=False)
+        for i in victims:
+            assert tree.delete(rects[int(i)], int(i))
+        for i in victims:
+            tree.insert(rects[int(i)], int(i))
+        check_tree(tree)
+        desc = TreeDescription.from_tree(tree)
+        result = buffer_model(desc, workload, BUFFER)
+        rows.append((churn, desc.total_nodes, result.node_accesses, result.disk_accesses))
+    return rows
+
+
+def test_churn_ablation(benchmark, record):
+    rows = run_once(benchmark, _run)
+
+    table = Table(["churn", "nodes", "EPT", f"ED B={BUFFER}"])
+    for row in rows:
+        table.add(*row)
+    record(
+        "ablation_churn",
+        table.to_text(
+            "Ablation: packed-tree degradation under delete/reinsert churn "
+            f"(HS, {DATA_SIZE} rects, capacity {CAPACITY})"
+        ),
+    )
+
+    costs = [ed for _, _, _, ed in rows]
+    # Even light churn knocks the packed tree well off its optimum...
+    assert costs[1] > 1.1 * costs[0]
+    # ...and the degradation persists at every churn level (it
+    # plateaus rather than growing: once most nodes have been split
+    # once, the tree sits at its dynamic-equilibrium quality).
+    for cost in costs[1:]:
+        assert cost > 1.1 * costs[0]

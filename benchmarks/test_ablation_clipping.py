@@ -1,0 +1,87 @@
+"""Ablation — how much does the §3.1 boundary correction matter?
+
+The paper replaces the raw Kamel-Faloutsos access probability (area of
+the extended rectangle) with a clipped-and-rescaled version.  Two
+effects are quantified here:
+
+* in the *aggregate* (expected node accesses) the two nearly cancel —
+  clipping removes boundary mass while the ``1/area(U')`` rescaling
+  adds it back — so Eq. 2 remains a decent bufferless estimate;
+* per node, however, the raw formula yields "probabilities" above 1
+  near the boundary (the 1.21 of Fig. 3b), which would make the buffer
+  model's ``(1-p)^N`` terms meaningless.  The correction is what makes
+  the buffer model possible at all, not a cosmetic fix.
+"""
+
+from repro.experiments.common import Table, get_description
+from repro.model import (
+    kamel_faloutsos_estimate,
+    raw_region_probabilities,
+    uniform_region_probabilities,
+)
+
+from .conftest import run_once
+
+QUERY_SIDES = (0.0, 0.01, 0.05, 0.1, 0.25, 0.5)
+
+
+def _run():
+    desc = get_description("region", 50_000, 100, "hs")
+    rows = []
+    for q in QUERY_SIDES:
+        raw_total = kamel_faloutsos_estimate(desc, (q, q))
+        raw_probs = raw_region_probabilities(desc.all_rects, (q, q))
+        clipped_probs = uniform_region_probabilities(desc.all_rects, (q, q))
+        rows.append(
+            (
+                q,
+                raw_total,
+                float(clipped_probs.sum()),
+                int((raw_probs > 1.0).sum()),
+                float(raw_probs.max()),
+                float(clipped_probs.max()),
+            )
+        )
+    return rows
+
+
+def test_clipping_ablation(benchmark, record):
+    rows = run_once(benchmark, _run)
+
+    table = Table(
+        [
+            "query side",
+            "raw Eq.2",
+            "clipped §3.1",
+            "raw p>1 nodes",
+            "max raw p",
+            "max clipped p",
+        ]
+    )
+    for row in rows:
+        table.add(*row)
+    record(
+        "ablation_clipping",
+        table.to_text(
+            "Ablation: raw vs boundary-corrected access probabilities"
+        ),
+    )
+
+    for q, raw_total, clipped_total, n_over, max_raw, max_clipped in rows:
+        # The raw aggregate never undershoots the corrected one...
+        assert raw_total >= clipped_total - 1e-9
+        # ...and stays within a few percent of it (the near-cancelling
+        # effects): Eq. 2 remains fine as a bufferless estimate.
+        if clipped_total > 0:
+            assert (raw_total - clipped_total) / clipped_total < 0.05
+        # Clipped probabilities are genuine probabilities.
+        assert max_clipped <= 1.0 + 1e-12
+
+    # Raw "probabilities" break down once queries grow: the big upper-
+    # level nodes exceed 1 (the root reaching 2.25 at q=0.5), which the
+    # buffer model cannot consume.
+    by_q = {q: (n_over, max_raw) for q, _, _, n_over, max_raw, _ in rows}
+    assert by_q[0.0][0] == 0
+    assert by_q[0.01][0] >= 1
+    assert by_q[0.5][0] >= by_q[0.01][0]
+    assert by_q[0.5][1] > 1.5

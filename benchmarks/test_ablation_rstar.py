@@ -1,0 +1,63 @@
+"""Ablation — the R*-tree insertion policy under the buffer model.
+
+Reference [1] of the paper, run through the paper's own methodology:
+build trees with Guttman TAT and with R* (forced reinsertion + overlap
+split), then compare expected disk accesses.  The classic result — R*
+builds better trees — should survive buffering."""
+
+from repro.experiments.common import Table, get_dataset
+from repro.model import buffer_model, expected_node_accesses
+from repro.packing import load_description
+from repro.queries import UniformPointWorkload
+
+from .conftest import run_once
+
+BUFFER_SIZES = (10, 50, 200)
+DATA_SIZE = 15_000
+CAPACITY = 25
+
+
+def _run():
+    data = get_dataset("region", DATA_SIZE)
+    workload = UniformPointWorkload()
+    out = {}
+    for loader in ("tat", "rstar", "hs"):
+        desc = load_description(loader, data, CAPACITY)
+        out[loader] = {
+            "nodes": desc.total_nodes,
+            "ept": expected_node_accesses(desc, workload),
+            "ed": {
+                b: buffer_model(desc, workload, b).disk_accesses
+                for b in BUFFER_SIZES
+            },
+        }
+    return out
+
+
+def test_rstar_ablation(benchmark, record):
+    result = run_once(benchmark, _run)
+
+    table = Table(
+        ["loader", "nodes", "EPT"] + [f"ED B={b}" for b in BUFFER_SIZES]
+    )
+    for loader, stats in result.items():
+        table.add(
+            loader,
+            stats["nodes"],
+            stats["ept"],
+            *[stats["ed"][b] for b in BUFFER_SIZES],
+        )
+    record(
+        "ablation_rstar",
+        table.to_text(
+            "Ablation: Guttman TAT vs R* insertion vs HS packing "
+            f"(synthetic region {DATA_SIZE}, capacity {CAPACITY})"
+        ),
+    )
+
+    # R* builds a better dynamic tree than Guttman...
+    assert result["rstar"]["ept"] < result["tat"]["ept"]
+    for b in BUFFER_SIZES:
+        assert result["rstar"]["ed"][b] <= result["tat"]["ed"][b] * 1.05
+    # ...with better space utilisation (fewer nodes).
+    assert result["rstar"]["nodes"] <= result["tat"]["nodes"]

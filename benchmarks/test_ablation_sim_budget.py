@@ -1,0 +1,56 @@
+"""Ablation — how the model-vs-simulation gap depends on query budget.
+
+The paper simulates 20 x 10^6 queries; we default to far fewer.  This
+bench grows the per-batch budget and checks that (a) the confidence
+interval shrinks roughly like 1/sqrt(budget) and (b) the measured
+model error is stable — i.e. the reduced default budget is not the
+source of the residual model error."""
+
+import math
+
+from repro.experiments.common import get_description
+from repro.model import buffer_model
+from repro.queries import UniformPointWorkload
+from repro.simulation import simulate
+
+from .conftest import run_once
+
+BUDGETS = (1000, 4000, 16000)
+BUFFER = 100
+
+
+def _run():
+    desc = get_description("region", 50_000, 100, "hs")
+    workload = UniformPointWorkload()
+    model = buffer_model(desc, workload, BUFFER).disk_accesses
+    rows = []
+    for batch_size in BUDGETS:
+        sim = simulate(
+            desc, workload, BUFFER, n_batches=10, batch_size=batch_size
+        )
+        err = 100.0 * (model - sim.disk_accesses.mean) / sim.disk_accesses.mean
+        rows.append(
+            (batch_size, sim.disk_accesses.mean, sim.disk_accesses.half_width, err)
+        )
+    return model, rows
+
+
+def test_sim_budget_ablation(benchmark, record):
+    model, rows = run_once(benchmark, _run)
+
+    lines = [
+        "Ablation: model-vs-simulation error by query budget "
+        f"(model = {model:.4f})",
+        f"{'batch size':>11} {'sim mean':>10} {'ci half':>10} {'err %':>8}",
+    ]
+    for batch_size, mean, hw, err in rows:
+        lines.append(f"{batch_size:>11} {mean:>10.4f} {hw:>10.4f} {err:>8.2f}")
+    record("ablation_sim_budget", "\n".join(lines))
+
+    # CI shrinks roughly like 1/sqrt(budget): 16x the queries should
+    # cut the half-width at least 2x.
+    assert rows[-1][2] < rows[0][2] / 2.0
+
+    # The error estimate is stable across budgets (within a few CI).
+    errors = [abs(err) for _, _, _, err in rows]
+    assert max(errors) < 5.0

@@ -1,0 +1,68 @@
+"""Ablation — split heuristics under the buffer model.
+
+One of the paper's stated applications: "the model can be used to
+evaluate the quality of any R-tree update operation, such as node
+splitting policies".  This bench loads the same data tuple-at-a-time
+with Guttman's quadratic and linear splits and Greene's split, and
+compares the trees through the buffer model."""
+
+from repro.experiments.common import Table, get_dataset
+from repro.model import buffer_model, expected_node_accesses
+from repro.packing import tat_description
+from repro.queries import UniformPointWorkload
+
+from .conftest import run_once
+
+BUFFER_SIZES = (10, 50, 200)
+DATA_SIZE = 20_000
+
+
+def _run():
+    data = get_dataset("region", DATA_SIZE)
+    workload = UniformPointWorkload()
+    out = {}
+    for split in ("quadratic", "greene", "linear"):
+        desc = tat_description(data, 50, split=split)
+        out[split] = {
+            "nodes": desc.total_nodes,
+            "ept": expected_node_accesses(desc, workload),
+            "ed": {
+                b: buffer_model(desc, workload, b).disk_accesses
+                for b in BUFFER_SIZES
+            },
+        }
+    return out
+
+
+def test_split_ablation(benchmark, record):
+    result = run_once(benchmark, _run)
+
+    table = Table(
+        ["split", "nodes", "EPT"] + [f"ED B={b}" for b in BUFFER_SIZES]
+    )
+    for split, stats in result.items():
+        table.add(
+            split,
+            stats["nodes"],
+            stats["ept"],
+            *[stats["ed"][b] for b in BUFFER_SIZES],
+        )
+    record(
+        "ablation_split",
+        table.to_text(
+            "Ablation: TAT split heuristics (quadratic / Greene / linear) "
+            f"(synthetic region {DATA_SIZE}, capacity 50, point queries)"
+        ),
+    )
+
+    quad = result["quadratic"]
+    greene = result["greene"]
+    lin = result["linear"]
+    # The classic result: quadratic and Greene's split both build far
+    # better trees than the linear split.
+    assert quad["ept"] < lin["ept"]
+    assert greene["ept"] < lin["ept"]
+    # And the ordering survives buffering at every size swept here.
+    for b in BUFFER_SIZES:
+        assert quad["ed"][b] <= lin["ed"][b] * 1.05
+        assert greene["ed"][b] <= lin["ed"][b] * 1.05

@@ -1,0 +1,64 @@
+"""Ablation — STR packing (the authors' follow-up loader [7]).
+
+The paper cites STR among the loaders its model can evaluate.  This
+bench runs STR through the same Fig. 6-style sweep as NX and HS on the
+Long-Beach-like data: STR should roughly match HS and clearly beat NX
+on this 2-D data."""
+
+from repro.experiments.common import Table, get_description
+from repro.model import buffer_model, expected_node_accesses
+from repro.queries import UniformPointWorkload, UniformRegionWorkload
+
+from .conftest import run_once
+
+BUFFER_SIZES = (10, 100, 300)
+LOADERS = ("nx", "hs", "str")
+
+
+def _run():
+    point = UniformPointWorkload()
+    region = UniformRegionWorkload((0.1, 0.1))
+    out = {}
+    for loader in LOADERS:
+        desc = get_description("tiger", None, 100, loader)
+        out[loader] = {
+            "ept_point": expected_node_accesses(desc, point),
+            "ept_region": expected_node_accesses(desc, region),
+            "ed": {
+                b: buffer_model(desc, region, b).disk_accesses
+                for b in BUFFER_SIZES
+            },
+        }
+    return out
+
+
+def test_str_ablation(benchmark, record):
+    result = run_once(benchmark, _run)
+
+    table = Table(
+        ["loader", "EPT point", "EPT region"]
+        + [f"ED B={b}" for b in BUFFER_SIZES]
+    )
+    for loader in LOADERS:
+        stats = result[loader]
+        table.add(
+            loader,
+            stats["ept_point"],
+            stats["ept_region"],
+            *[stats["ed"][b] for b in BUFFER_SIZES],
+        )
+    record(
+        "ablation_str",
+        table.to_text(
+            "Ablation: STR vs NX vs HS (Long-Beach-like data, capacity 100)"
+        ),
+    )
+
+    # STR crushes NX on every metric here.
+    assert result["str"]["ept_point"] < result["nx"]["ept_point"]
+    assert result["str"]["ept_region"] < result["nx"]["ept_region"]
+    for b in BUFFER_SIZES:
+        assert result["str"]["ed"][b] <= result["nx"]["ed"][b]
+    # And is in the same league as HS (within 2x either way).
+    ratio = result["str"]["ept_region"] / result["hs"]["ept_region"]
+    assert 0.5 < ratio < 2.0

@@ -1,0 +1,63 @@
+"""Ablation — Hilbert vs Z-order packing.
+
+Kamel & Faloutsos justified Hilbert packing by its locality advantage
+over bit-interleaved Z-order.  This bench confirms the gap on the
+paper's synthetic point data, with and without a buffer."""
+
+from repro.experiments.common import Table, get_dataset
+from repro.model import buffer_model, expected_node_accesses
+from repro.packing import pack_description
+from repro.queries import UniformPointWorkload, UniformRegionWorkload
+
+from .conftest import run_once
+
+DATA_SIZE = 100_000
+CAPACITY = 25
+BUFFER = 200
+
+
+def _run():
+    data = get_dataset("point", DATA_SIZE)
+    rows = []
+    for q in (0.0, 0.05, 0.1):
+        workload = (
+            UniformPointWorkload()
+            if q == 0.0
+            else UniformRegionWorkload((q, q))
+        )
+        row = {"q": q}
+        for ordering in ("hs", "zorder"):
+            desc = pack_description(data, CAPACITY, ordering)
+            row[f"{ordering}_ept"] = expected_node_accesses(desc, workload)
+            row[f"{ordering}_ed"] = buffer_model(
+                desc, workload, BUFFER
+            ).disk_accesses
+        rows.append(row)
+    return rows
+
+
+def test_zorder_ablation(benchmark, record):
+    rows = run_once(benchmark, _run)
+
+    table = Table(
+        ["query side", "HS EPT", "Z EPT", f"HS ED B={BUFFER}", f"Z ED B={BUFFER}"]
+    )
+    for row in rows:
+        table.add(
+            row["q"],
+            row["hs_ept"],
+            row["zorder_ept"],
+            row["hs_ed"],
+            row["zorder_ed"],
+        )
+    record(
+        "ablation_zorder",
+        table.to_text(
+            "Ablation: Hilbert vs Z-order packing "
+            f"(synthetic points {DATA_SIZE}, capacity {CAPACITY})"
+        ),
+    )
+
+    for row in rows:
+        assert row["hs_ept"] < row["zorder_ept"]
+        assert row["hs_ed"] <= row["zorder_ed"] * 1.05

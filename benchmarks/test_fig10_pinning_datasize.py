@@ -1,0 +1,47 @@
+"""Fig. 10 — pinning benefit vs data size (HS, node size 25).
+
+Paper anchors: pinning 0/1/2 levels is indistinguishable; pinning 3
+levels saves 53% at 250k points with a 500-page buffer but only 4% at
+80k points, and with a 2,000-page buffer it makes "almost no
+difference"."""
+
+import pytest
+
+from repro.experiments import fig10
+
+from .conftest import run_once
+
+
+def test_fig10_pinning(benchmark, record):
+    result = run_once(benchmark, fig10.run)
+    record("fig10", result.to_text())
+
+    # Pinning 0, 1 or 2 levels: same line in the paper's plots.
+    for b in result.buffers:
+        for i in range(len(result.sizes)):
+            base = result.disk_accesses[(b, 0)][i]
+            for p in (1, 2):
+                assert result.disk_accesses[(b, p)][i] == pytest.approx(
+                    base, rel=1e-3, abs=1e-9
+                )
+
+    # B=500: big win at 250k (paper 53%; we accept >20%), tiny at 80k
+    # (paper 4%; we accept <10%).
+    big = result.improvement(500, 250_000)
+    small = result.improvement(500, 80_000)
+    assert big > 0.20
+    assert small < 0.10
+    assert big > 3 * small
+
+    # B=2000: pinned pages are under a quarter of the buffer — almost
+    # no difference.
+    assert result.improvement(2000, 250_000) < 0.05
+
+    # Pinning never hurts (paper §5.5).
+    for key, curve in result.disk_accesses.items():
+        b = key[0]
+        for i in range(len(result.sizes)):
+            value = curve[i]
+            base = result.disk_accesses[(b, 0)][i]
+            if value is not None:
+                assert value <= base + 1e-9

@@ -1,0 +1,43 @@
+"""Fig. 11 — pinning benefit vs buffer size and vs query size.
+
+Paper anchors: on the Long Beach tree with 25-entry nodes, pinning 3
+levels needs ~91 pages, so it is infeasible below a 100-page buffer
+and only helps over a small range of buffer sizes; on the 250k-point
+tree with a 500-page buffer, pinning 3 levels improves point queries
+by ~35% (pinning 2: none), and the benefit decays as the region query
+side QX grows toward 0.15."""
+
+import pytest
+
+from repro.experiments import fig11
+
+from .conftest import run_once
+
+
+def test_fig11_pinning_ranges(benchmark, record):
+    result = run_once(benchmark, fig11.run)
+    record("fig11", result.to_text())
+
+    # Left panel: pin 0/1/2 identical; pin 3 infeasible below ~91 pages.
+    for i, b in enumerate(result.buffer_sizes):
+        p0 = result.left_curves[0][i]
+        assert result.left_curves[1][i] == pytest.approx(p0, rel=1e-9)
+        feasible = result.left_curves[3][i]
+        if b < 91:
+            assert feasible is None
+        else:
+            assert feasible is not None
+            assert feasible <= p0 + 1e-9  # pinning never hurts
+    # At the largest buffer the pin-3 advantage has vanished.
+    assert result.left_curves[3][-1] is not None
+    assert result.left_curves[3][-1] >= result.left_curves[0][-1] - 1e-6
+
+    # Right panel: ~35% for point queries with 3 pinned levels, ~0%
+    # with 2; decaying in QX.
+    pin3 = result.right_curves[3]
+    pin2 = result.right_curves[2]
+    assert 20 < pin3[0] < 60
+    assert pin2[0] < 1
+    assert pin3[0] > pin3[len(pin3) // 2] > pin3[-1] * 0.9
+    # Pinning 2 levels gains a *marginal* benefit at mid query sizes.
+    assert max(pin2[1:]) > pin2[0]

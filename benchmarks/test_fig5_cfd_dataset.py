@@ -1,0 +1,18 @@
+"""Fig. 5 — the CFD data set's skew (plot substitute + statistics)."""
+
+from repro.experiments import fig5
+
+from .conftest import run_once
+
+
+def test_fig5_cfd_skew(benchmark, record):
+    result = run_once(benchmark, fig5.run)
+    record("fig5", result.to_text())
+
+    assert result.n_points == 52_510
+    # "Nodes are dense in areas of great change and sparse in areas of
+    # little change": a small window around the wing holds a large
+    # share of all points.
+    assert result.center_fraction > 5 * result.center_area_fraction
+    # Highly skewed cell occupancy.
+    assert result.gini > 0.5

@@ -1,0 +1,28 @@
+"""Fig. 7 — uniform vs data-driven point queries on Long Beach data.
+
+Paper anchors: data-driven queries cost more (they always land on
+data, while uniform queries are often pruned over empty space), and
+growing the buffer from 10 to 500 pages speeds up uniform queries more
+(paper: 3.91x vs 2.86x)."""
+
+from repro.experiments import fig7
+
+from .conftest import run_once
+
+
+def test_fig7_tiger(benchmark, record):
+    result = run_once(benchmark, fig7.run)
+    record("fig7", result.to_text())
+
+    # Data-driven always costs more on this data.
+    for uniform, driven in zip(result.uniform, result.data_driven):
+        assert driven > uniform
+
+    # Buffer benefit is larger under the uniform model at every size.
+    for u, d in zip(result.uniform_speedup[1:], result.data_driven_speedup[1:]):
+        assert u >= d
+
+    # The paper's 3.91x / 2.86x anchors, with substitution tolerance.
+    assert 2.0 < result.uniform_speedup[-1] < 8.0
+    assert 1.5 < result.data_driven_speedup[-1] < 5.0
+    assert result.uniform_speedup[-1] > result.data_driven_speedup[-1]

@@ -1,0 +1,29 @@
+"""Fig. 8 — uniform vs data-driven point queries on the CFD data.
+
+Paper anchors: the effect of Fig. 7, amplified by the extreme skew —
+uniform queries concentrate on a few huge MBRs that cache perfectly
+(absolute costs drop to ~0.06 accesses/query range) and the uniform
+buffer-speedup ratios run "in excess of 20", while data-driven queries
+improve far more modestly."""
+
+from repro.experiments import fig8
+
+from .conftest import run_once
+
+
+def test_fig8_cfd(benchmark, record):
+    result = run_once(benchmark, fig8.run)
+    record("fig8", result.to_text())
+
+    for uniform, driven in zip(result.uniform, result.data_driven):
+        assert driven > uniform
+
+    # Ratios in excess of 20 for uniform queries.
+    assert result.uniform_speedup[-1] > 20
+    # Data-driven benefits far less.
+    assert result.data_driven_speedup[-1] < result.uniform_speedup[-1] / 3
+
+    # Near-zero absolute cost for uniform queries at large buffers
+    # (the paper quotes 0.06 at B=100; our substitute reaches the same
+    # regime within the sweep).
+    assert result.uniform[-1] < 0.1

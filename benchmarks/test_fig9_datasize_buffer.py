@@ -1,0 +1,37 @@
+"""Fig. 9 — cost vs data size, with and without a buffer.
+
+Paper claim: judged by nodes visited, querying a 300k-rectangle tree
+looks no more expensive than a 25k one ("this could cause a query
+optimizer to produce a poor query plan"); judged by disk accesses
+behind a buffer, the cost of larger trees "becomes evident"."""
+
+from repro.experiments import fig9
+
+from .conftest import run_once
+
+
+def test_fig9_datasize(benchmark, record):
+    result = run_once(benchmark, fig9.run)
+    record("fig9", result.to_text())
+
+    i25 = result.sizes.index(25_000)
+
+    # Bufferless HS: 25k -> 300k grows by well under 2x (looks flat).
+    hs_flat = result.node_accesses["hs"]
+    assert hs_flat[-1] / hs_flat[i25] < 2.0
+
+    # Behind a buffer, the same trees diverge sharply.
+    for buffer_size in (10, 300):
+        curve = result.disk_accesses[("hs", buffer_size)]
+        assert list(curve) == sorted(curve)  # monotone in data size
+    b300 = result.disk_accesses[("hs", 300)]
+    # At B=300 the small tree is (nearly) free and the large tree is not.
+    assert b300[i25] < 0.2
+    assert b300[-1] > 1.0
+
+    # NX is uniformly worse than HS.
+    for key in result.disk_accesses:
+        if key[0] == "nx":
+            partner = ("hs", key[1])
+            for nx, hs in zip(result.disk_accesses[key], result.disk_accesses[partner]):
+                assert hs <= nx + 1e-9

@@ -1,0 +1,41 @@
+"""Table 1 — validate the buffer model against the LRU simulation.
+
+Paper claim: model and simulation agree within 2% ("less than the
+confidence intervals returned from the simulation").  Our acceptance
+band: 4% for every buffer size of at least half the per-query
+footprint; the tiny-buffer regime (B=10 on trees whose queries touch
+~5-17 nodes) is reported but judged at 20% — the model's warm-up
+granularity is a whole query, so buffers smaller than one query's
+footprint are outside its intended regime (see EXPERIMENTS.md).
+"""
+
+import os
+
+from repro.experiments import table1
+
+from .conftest import run_once
+
+
+def _sim_budget() -> tuple[int, int]:
+    return (
+        int(os.environ.get("REPRO_SIM_BATCHES", "10")),
+        int(os.environ.get("REPRO_SIM_QUERIES", "5000")),
+    )
+
+
+def test_table1_model_matches_simulation(benchmark, record):
+    n_batches, batch_size = _sim_budget()
+    result = run_once(
+        benchmark,
+        lambda: table1.run(n_batches=n_batches, batch_size=batch_size),
+    )
+    record("table1", result.to_text())
+
+    # The paper's 1,668-node trees.
+    assert all(nodes == 1668 for nodes in result.total_nodes.values())
+
+    for row in result.rows:
+        if row.buffer_size >= 50:
+            assert abs(row.percent_difference) < 4.0, row
+        else:
+            assert abs(row.percent_difference) < 20.0, row

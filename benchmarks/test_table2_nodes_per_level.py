@@ -1,0 +1,20 @@
+"""Table 2 — nodes per level of the 4-level pinning-study trees."""
+
+from repro.experiments import table2
+
+from .conftest import run_once
+
+
+def test_table2_tree_shapes(benchmark, record):
+    result = run_once(benchmark, table2.run)
+    record("table2", result.to_text())
+
+    # All trees have 4 levels (paper: "R-trees with 4 levels").
+    for size, counts in result.counts.items():
+        assert len(counts) == 4, (size, counts)
+        assert counts[0] == 1
+
+    # The page counts quoted in §5.5.
+    assert result.counts[250_000] == (1, 16, 400, 10000)
+    assert result.pinned_pages(250_000, 3) == 417
+    assert result.pinned_pages(80_000, 3) == 135

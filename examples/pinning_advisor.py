@@ -1,0 +1,77 @@
+"""Pinning advisor: should you pin the top levels of your R-tree?
+
+Section 5.5 of the paper ends with practical advice: pinning only pays
+when the pinned pages amount to a sizeable fraction (>= ~half) of the
+buffer, and the benefit shrinks for region queries.  This example
+wraps that analysis into a function you can point at any tree: it
+sweeps every feasible pinning depth through the buffer model and
+recommends one, explaining the trade-off.
+
+Run:  python examples/pinning_advisor.py  [--fast]
+"""
+
+import sys
+
+from repro import (
+    UniformPointWorkload,
+    UniformRegionWorkload,
+    load_description,
+    max_pinnable_levels,
+    sweep_pinning,
+    synthetic_point,
+)
+
+
+MEANINGFUL_SAVING = 0.01
+"""Recommend pinning only above a 1% saving: buffer pages have other
+uses (the paper's closing advice for shared buffers)."""
+
+
+def advise(desc, workload, buffer_size: int) -> None:
+    sweep = sweep_pinning(desc, workload, buffer_size)
+    feasible = max_pinnable_levels(desc, buffer_size)
+    print(f"  buffer {buffer_size} pages; up to {feasible} level(s) pinnable")
+    base = sweep.results[0].disk_accesses
+    for result in sweep.results:
+        saving = 0.0 if base == 0 else 100 * (base - result.disk_accesses) / base
+        if abs(saving) < 0.05:
+            saving = 0.0
+        pages = result.pinned_pages
+        print(
+            f"    pin {result.pinned_levels} level(s) "
+            f"({pages:>4} pages): {result.disk_accesses:.4f} "
+            f"disk accesses/query ({saving:5.1f}% saved)"
+        )
+    best = sweep.best_levels
+    saving = (
+        0.0
+        if base == 0
+        else (base - sweep.results[best].disk_accesses) / base
+    )
+    if best == 0 or saving < MEANINGFUL_SAVING:
+        print("    advice: do not pin — LRU already keeps the top levels hot")
+    else:
+        pages = sweep.results[best].pinned_pages
+        print(
+            f"    advice: pin {best} level(s) ({pages} pages, "
+            f"{100 * pages / buffer_size:.0f}% of the buffer, "
+            f"{100 * saving:.0f}% fewer disk accesses)"
+        )
+
+
+def main(fast: bool = False) -> None:
+    n = 40_000 if fast else 250_000
+    data = synthetic_point(n, rng=13)
+    desc = load_description("hs", data, capacity=25)
+    print(f"tree: {desc.total_nodes} pages, levels {desc.node_counts}\n")
+
+    print("point queries:")
+    advise(desc, UniformPointWorkload(), buffer_size=500)
+    advise(desc, UniformPointWorkload(), buffer_size=2000)
+
+    print("\n0.1 x 0.1 region queries (pinning benefit shrinks):")
+    advise(desc, UniformRegionWorkload((0.1, 0.1)), buffer_size=500)
+
+
+if __name__ == "__main__":
+    main(fast="--fast" in sys.argv[1:])

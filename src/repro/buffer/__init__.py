@@ -1,0 +1,16 @@
+"""Buffer pools: LRU (the paper's policy) plus ablation alternatives."""
+
+from .base import BufferPool, BufferStats, PinningError
+from .lru import LRUBuffer
+from .policies import POLICIES, ClockBuffer, FIFOBuffer, RandomBuffer
+
+__all__ = [
+    "BufferPool",
+    "BufferStats",
+    "ClockBuffer",
+    "FIFOBuffer",
+    "LRUBuffer",
+    "PinningError",
+    "POLICIES",
+    "RandomBuffer",
+]

@@ -1,0 +1,133 @@
+"""Alternative replacement policies (ablation extensions).
+
+The paper models LRU specifically; these policies let the benchmark
+harness check how sensitive its conclusions are to the replacement
+policy: CLOCK is the classic one-bit LRU approximation, FIFO ignores
+recency of *use*, and RANDOM is the memoryless baseline.  (For the
+independent-reference pattern the model assumes, LRU, CLOCK and FIFO
+behave almost identically; see ``benchmarks/test_ablation_policies.py``.)
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable
+
+import numpy as np
+
+from .base import BufferPool, PageId
+from .lru import LRUBuffer
+
+__all__ = ["ClockBuffer", "FIFOBuffer", "RandomBuffer", "POLICIES"]
+
+
+class FIFOBuffer(BufferPool):
+    """First-in first-out replacement: hits do not refresh a page."""
+
+    def __init__(self, capacity: int, pinned: Iterable[PageId] = ()) -> None:
+        super().__init__(capacity, pinned)
+        self._queue: OrderedDict[PageId, None] = OrderedDict()
+
+    def _resident(self, page: PageId) -> bool:
+        return page in self._queue
+
+    def _resident_count(self) -> int:
+        return len(self._queue)
+
+    def _touch(self, page: PageId) -> None:
+        pass  # FIFO ignores hits
+
+    def _admit(self, page: PageId) -> None:
+        self._queue[page] = None
+
+    def _evict(self) -> PageId:
+        victim, _ = self._queue.popitem(last=False)
+        return victim
+
+
+class ClockBuffer(BufferPool):
+    """Second-chance (CLOCK) replacement.
+
+    Pages sit on a circular list with a reference bit; the hand sweeps,
+    clearing set bits, and evicts the first page found unreferenced.
+    """
+
+    def __init__(self, capacity: int, pinned: Iterable[PageId] = ()) -> None:
+        super().__init__(capacity, pinned)
+        self._pages: list[PageId] = []
+        self._referenced: dict[PageId, bool] = {}
+        self._hand = 0
+
+    def _resident(self, page: PageId) -> bool:
+        return page in self._referenced
+
+    def _resident_count(self) -> int:
+        return len(self._pages)
+
+    def _touch(self, page: PageId) -> None:
+        self._referenced[page] = True
+
+    def _admit(self, page: PageId) -> None:
+        # Insert at the hand so the sweep order stays circular.
+        self._pages.insert(self._hand, page)
+        self._referenced[page] = False
+        self._hand = (self._hand + 1) % len(self._pages)
+
+    def _evict(self) -> PageId:
+        while True:
+            self._hand %= len(self._pages)
+            page = self._pages[self._hand]
+            if self._referenced[page]:
+                self._referenced[page] = False
+                self._hand += 1
+            else:
+                self._pages.pop(self._hand)
+                del self._referenced[page]
+                return page
+
+
+class RandomBuffer(BufferPool):
+    """Uniform random replacement (memoryless baseline)."""
+
+    def __init__(
+        self,
+        capacity: int,
+        pinned: Iterable[PageId] = (),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(capacity, pinned)
+        self._pages: list[PageId] = []
+        self._index: dict[PageId, int] = {}
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def _resident(self, page: PageId) -> bool:
+        return page in self._index
+
+    def _resident_count(self) -> int:
+        return len(self._pages)
+
+    def _touch(self, page: PageId) -> None:
+        pass  # random replacement ignores recency
+
+    def _admit(self, page: PageId) -> None:
+        self._index[page] = len(self._pages)
+        self._pages.append(page)
+
+    def _evict(self) -> PageId:
+        slot = int(self._rng.integers(len(self._pages)))
+        victim = self._pages[slot]
+        last = self._pages.pop()
+        if slot < len(self._pages):
+            self._pages[slot] = last
+            self._index[last] = slot
+        del self._index[victim]
+        return victim
+
+
+POLICIES = {
+    "lru": LRUBuffer,
+    "fifo": FIFOBuffer,
+    "clock": ClockBuffer,
+    "random": RandomBuffer,
+}
+"""Replacement policies by name."""

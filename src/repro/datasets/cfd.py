@@ -1,0 +1,199 @@
+"""A synthetic substitute for the CFD (Boeing 737 wing section) data set.
+
+The paper's CFD data is an unstructured computational-fluid-dynamics
+grid around a wing cross-section with flaps out: 52,510 mesh nodes,
+"dense in areas of great change ... and sparse in areas of little
+change", with blank oval regions inside the wing elements (Fig. 5).
+The original file (the authors' university URL) is long gone, so this
+module synthesises a landing-configuration airfoil system — a main
+element plus two deflected flap elements — and samples mesh-like points
+with density decaying away from the element surfaces:
+
+* most points hug the element boundaries (boundary-layer resolution),
+  using a mixture of exponential offset scales so density falls off
+  smoothly with distance;
+* a wake region trails the elements;
+* a sparse far field covers the rest of the domain;
+* no points fall *inside* an element (the blank ovals of Fig. 5).
+
+What the experiments need from this data is its skew: a few huge
+sparse MBRs covering mostly-empty space and many tiny dense ones near
+the wing, which is what produces the paper's §5.4 contrast between
+uniform and data-driven queries.  See DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import RectArray
+
+__all__ = ["CFD_SIZE", "Airfoil", "WING_ELEMENTS", "cfd_like"]
+
+CFD_SIZE = 52_510
+"""Mesh-node count of the original CFD data set."""
+
+
+@dataclass(frozen=True)
+class Airfoil:
+    """A NACA-00xx-style airfoil element placed in the plane."""
+
+    leading_edge: tuple[float, float]
+    """Position of the leading edge."""
+    chord: float
+    """Chord length."""
+    angle: float
+    """Deflection angle in radians (positive = trailing edge down)."""
+    thickness: float
+    """Maximum thickness as a fraction of the chord."""
+
+    def surface_point(self, s: np.ndarray, upper: np.ndarray) -> np.ndarray:
+        """Surface points at chordwise parameters ``s`` in [0, 1]."""
+        xc = s
+        yt = self._thickness_profile(xc)
+        y_local = np.where(upper, yt, -yt) * self.chord
+        x_local = xc * self.chord
+        return self._to_world(x_local, y_local)
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask of points strictly inside the element body."""
+        x_local, y_local = self._to_local(points)
+        xc = x_local / self.chord
+        inside_chord = (xc > 0.0) & (xc < 1.0)
+        yt = np.zeros_like(xc)
+        yt[inside_chord] = self._thickness_profile(xc[inside_chord])
+        return inside_chord & (np.abs(y_local) < yt * self.chord)
+
+    def _thickness_profile(self, xc: np.ndarray) -> np.ndarray:
+        """NACA four-digit symmetric thickness distribution (half-width)."""
+        t = self.thickness
+        return (
+            5.0
+            * t
+            * (
+                0.2969 * np.sqrt(xc)
+                - 0.1260 * xc
+                - 0.3516 * xc**2
+                + 0.2843 * xc**3
+                - 0.1015 * xc**4
+            )
+        )
+
+    def _to_world(self, x_local: np.ndarray, y_local: np.ndarray) -> np.ndarray:
+        cos_a, sin_a = math.cos(self.angle), math.sin(self.angle)
+        x = self.leading_edge[0] + x_local * cos_a + y_local * sin_a
+        y = self.leading_edge[1] - x_local * sin_a + y_local * cos_a
+        return np.column_stack([x, y])
+
+    def _to_local(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        cos_a, sin_a = math.cos(self.angle), math.sin(self.angle)
+        dx = points[:, 0] - self.leading_edge[0]
+        dy = points[:, 1] - self.leading_edge[1]
+        x_local = dx * cos_a - dy * sin_a
+        y_local = dx * sin_a + dy * cos_a
+        return x_local, y_local
+
+
+WING_ELEMENTS: tuple[Airfoil, ...] = (
+    # Main element, slight nose-down attitude.
+    Airfoil(leading_edge=(0.30, 0.55), chord=0.28, angle=0.05, thickness=0.14),
+    # Fore flap, deflected.
+    Airfoil(leading_edge=(0.57, 0.52), chord=0.12, angle=0.45, thickness=0.10),
+    # Aft flap, deflected further.
+    Airfoil(leading_edge=(0.66, 0.46), chord=0.08, angle=0.75, thickness=0.09),
+)
+"""The landing-configuration wing section: main element + two flaps."""
+
+_ELEMENT_WEIGHTS = (0.58, 0.17, 0.10)
+_WAKE_WEIGHT = 0.07
+_FARFIELD_WEIGHT = 0.08
+_OFFSET_SCALES = (0.0015, 0.008, 0.04)
+_OFFSET_MIX = (0.62, 0.28, 0.10)
+
+
+def cfd_like(
+    n: int = CFD_SIZE,
+    rng: np.random.Generator | int | None = None,
+) -> RectArray:
+    """Generate ``n`` CFD-mesh-like points as degenerate rectangles.
+
+    Deterministic for a given seed (default 737).
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(737 if rng is None else rng)
+
+    weights = np.array(_ELEMENT_WEIGHTS + (_WAKE_WEIGHT, _FARFIELD_WEIGHT))
+    weights = weights / weights.sum()
+
+    accepted: list[np.ndarray] = []
+    total = 0
+    while total < n:
+        batch = max(4096, (n - total) * 2)
+        points = _sample_batch(rng, batch, weights)
+        keep = ~_inside_any_element(points)
+        keep &= np.all((points >= 0.0) & (points <= 1.0), axis=1)
+        points = points[keep]
+        accepted.append(points)
+        total += len(points)
+    points = np.concatenate(accepted, axis=0)[:n]
+    return RectArray.from_points(points).normalized()
+
+
+def _sample_batch(
+    rng: np.random.Generator, count: int, weights: np.ndarray
+) -> np.ndarray:
+    kind = rng.choice(len(weights), size=count, p=weights)
+    points = np.empty((count, 2))
+    for k, element in enumerate(WING_ELEMENTS):
+        mask = kind == k
+        points[mask] = _near_surface(rng, int(mask.sum()), element)
+    wake = kind == len(WING_ELEMENTS)
+    points[wake] = _wake_points(rng, int(wake.sum()))
+    far = kind == len(WING_ELEMENTS) + 1
+    points[far] = rng.random((int(far.sum()), 2))
+    return points
+
+
+def _near_surface(
+    rng: np.random.Generator, count: int, element: Airfoil
+) -> np.ndarray:
+    if count == 0:
+        return np.empty((0, 2))
+    # Cosine spacing concentrates samples at leading and trailing
+    # edges, as unstructured CFD meshes do.
+    u = rng.random(count)
+    s = (1.0 - np.cos(math.pi * u)) / 2.0
+    upper = rng.random(count) < 0.5
+    base = element.surface_point(s, upper)
+    scale_idx = rng.choice(len(_OFFSET_SCALES), size=count, p=_OFFSET_MIX)
+    scales = np.asarray(_OFFSET_SCALES)[scale_idx]
+    distance = rng.exponential(scales)
+    direction = rng.normal(size=(count, 2))
+    norms = np.linalg.norm(direction, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return base + direction / norms * distance[:, None]
+
+
+def _wake_points(rng: np.random.Generator, count: int) -> np.ndarray:
+    """Points trailing downstream of the aft flap."""
+    if count == 0:
+        return np.empty((0, 2))
+    aft = WING_ELEMENTS[-1]
+    trailing = aft.surface_point(np.ones(count), np.zeros(count, dtype=bool))
+    along = rng.exponential(0.08, size=count)
+    spread = rng.normal(scale=0.01 + 0.15 * along, size=count)
+    x = trailing[:, 0] + along
+    y = trailing[:, 1] - 0.4 * along + spread
+    return np.column_stack([x, y])
+
+
+def _inside_any_element(points: np.ndarray) -> np.ndarray:
+    inside = np.zeros(len(points), dtype=bool)
+    for element in WING_ELEMENTS:
+        inside |= element.contains(points)
+    return inside

@@ -1,0 +1,114 @@
+"""Shared infrastructure for the paper's experiments.
+
+Data sets and tree descriptions are deterministic and cached per
+process, so a bench run builds each tree (including the slow TAT
+trees) exactly once.  Simulation budgets honour two environment
+variables so the validation experiments can be scaled up toward the
+paper's 20 × 10⁶ queries when runtime allows:
+
+* ``REPRO_SIM_BATCHES``  (default 20, as in the paper)
+* ``REPRO_SIM_QUERIES``  (queries per batch, default 20,000)
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Sequence
+
+from ..datasets import cfd_like, synthetic_point, synthetic_region, tiger_like
+from ..geometry import RectArray
+from ..packing import load_description
+from ..rtree import TreeDescription
+
+__all__ = [
+    "DATASET_SEEDS",
+    "Table",
+    "get_dataset",
+    "get_description",
+    "sim_batches",
+    "sim_queries_per_batch",
+]
+
+DATASET_SEEDS = {"tiger": 1998, "cfd": 737, "region": 11, "point": 13}
+"""Fixed seeds: every experiment sees the same data sets."""
+
+
+def sim_batches() -> int:
+    """Number of batch-means batches for simulations."""
+    return int(os.environ.get("REPRO_SIM_BATCHES", "20"))
+
+
+def sim_queries_per_batch() -> int:
+    """Queries per simulation batch."""
+    return int(os.environ.get("REPRO_SIM_QUERIES", "20000"))
+
+
+@lru_cache(maxsize=None)
+def get_dataset(name: str, n: int | None = None) -> RectArray:
+    """A cached, deterministic data set by name.
+
+    ``name`` is one of ``tiger``, ``cfd``, ``region``, ``point``;
+    ``n`` overrides the default size (mandatory for the synthetic
+    families).
+    """
+    seed = DATASET_SEEDS.get(name)
+    if name == "tiger":
+        return tiger_like(rng=seed) if n is None else tiger_like(n, rng=seed)
+    if name == "cfd":
+        return cfd_like(rng=seed) if n is None else cfd_like(n, rng=seed)
+    if name == "region":
+        if n is None:
+            raise ValueError("synthetic region data needs an explicit size")
+        return synthetic_region(n, rng=seed)
+    if name == "point":
+        if n is None:
+            raise ValueError("synthetic point data needs an explicit size")
+        return synthetic_point(n, rng=seed)
+    raise ValueError(f"unknown dataset {name!r}")
+
+
+@lru_cache(maxsize=None)
+def get_description(
+    dataset: str, n: int | None, capacity: int, loader: str
+) -> TreeDescription:
+    """Cached tree description for (dataset, size, capacity, loader)."""
+    data = get_dataset(dataset, n)
+    return load_description(loader, data, capacity)
+
+
+class Table:
+    """A minimal fixed-width text table for experiment output."""
+
+    def __init__(self, headers: Sequence[str]) -> None:
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add(self, *cells: object) -> None:
+        """Append a row; floats are rendered with 4 significant digits."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([_render(c) for c in cells])
+
+    def to_text(self, title: str | None = None) -> str:
+        """Render the table with aligned columns."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if title:
+            lines.append(title)
+        lines.append("  ".join(h.rjust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)

@@ -1,0 +1,100 @@
+"""Figure 10 — effect of pinning versus data size (HS trees).
+
+Point queries on the 4-level synthetic point trees of Table 2 (node
+size 25), for buffers of 500, 1,000 and 2,000 pages.  Pinning zero,
+one, or two levels performs identically (LRU already keeps those few
+pages resident); pinning three levels helps substantially once the
+pinned page count is at least about half the buffer — the paper quotes
+53% fewer disk accesses at 250,000 points with a 500-page buffer, but
+only 4% at 80,000 points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..buffer import PinningError
+from ..model import buffer_model
+from ..queries import UniformPointWorkload
+from .common import Table, get_description
+from .table2 import DEFAULT_SIZES
+
+__all__ = ["Fig10Result", "run"]
+
+DEFAULT_BUFFERS = (500, 1000, 2000)
+DEFAULT_PIN_LEVELS = (0, 1, 2, 3)
+CAPACITY = 25
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """Disk accesses per point query for every (buffer, pin, size) cell."""
+
+    sizes: tuple[int, ...]
+    buffers: tuple[int, ...]
+    pin_levels: tuple[int, ...]
+    disk_accesses: dict[tuple[int, int], tuple[float | None, ...]]
+    """(buffer, pinned levels) -> per-size curve (None = pin infeasible)."""
+
+    def improvement(self, buffer_size: int, size: int, levels: int = 3) -> float:
+        """Fractional saving of pinning ``levels`` levels vs no pinning."""
+        i = self.sizes.index(size)
+        base = self.disk_accesses[(buffer_size, 0)][i]
+        pinned = self.disk_accesses[(buffer_size, levels)][i]
+        if base is None or pinned is None or base == 0:
+            return 0.0
+        return (base - pinned) / base
+
+    def to_text(self) -> str:
+        out = []
+        for buffer_size in self.buffers:
+            table = Table(
+                ["points"] + [f"pin {p}" for p in self.pin_levels] + ["save(3) %"]
+            )
+            for i, size in enumerate(self.sizes):
+                cells = [
+                    self.disk_accesses[(buffer_size, p)][i]
+                    for p in self.pin_levels
+                ]
+                rendered = [c if c is not None else "n/a" for c in cells]
+                table.add(
+                    size,
+                    *rendered,
+                    100.0 * self.improvement(buffer_size, size),
+                )
+            out.append(
+                table.to_text(
+                    f"Fig. 10: disk accesses vs data size, buffer = {buffer_size} "
+                    f"(HS, node size {CAPACITY}, point queries)"
+                )
+            )
+        return "\n\n".join(out)
+
+
+def run(
+    sizes=DEFAULT_SIZES,
+    buffers=DEFAULT_BUFFERS,
+    pin_levels=DEFAULT_PIN_LEVELS,
+    loader: str = "hs",
+) -> Fig10Result:
+    """Reproduce Fig. 10 (pinning benefit vs data size)."""
+    workload = UniformPointWorkload()
+    curves: dict[tuple[int, int], list[float | None]] = {
+        (b, p): [] for b in buffers for p in pin_levels
+    }
+    for size in sizes:
+        desc = get_description("point", size, CAPACITY, loader)
+        for b in buffers:
+            for p in pin_levels:
+                try:
+                    result = buffer_model(desc, workload, b, pinned_levels=p)
+                except PinningError:
+                    curves[(b, p)].append(None)
+                else:
+                    curves[(b, p)].append(result.disk_accesses)
+    return Fig10Result(
+        sizes=tuple(sizes),
+        buffers=tuple(buffers),
+        pin_levels=tuple(pin_levels),
+        disk_accesses={k: tuple(v) for k, v in curves.items()},
+    )

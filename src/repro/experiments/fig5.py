@@ -1,0 +1,98 @@
+"""Figure 5 — the CFD data set.
+
+The paper's figure is a scatter plot of the mesh nodes: dense around
+the wing elements (with blank ovals where the wing bodies are) and
+sparse in the far field.  This experiment characterises our CFD-like
+substitute the same way: an ASCII density plot plus the skew statistics
+the later experiments rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import Rect
+from .common import get_dataset
+
+__all__ = ["Fig5Result", "run"]
+
+_GRID = 48
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Density characterisation of the CFD-like point set."""
+
+    n_points: int
+    center_window: Rect
+    """A window around the wing system (the figure's right panel)."""
+    center_fraction: float
+    """Fraction of all points inside the center window."""
+    center_area_fraction: float
+    """Area of that window as a fraction of the data space."""
+    occupancy: np.ndarray
+    """Point counts on a coarse grid over the unit square."""
+    empty_cell_fraction: float
+    """Fraction of grid cells with no points at all."""
+    gini: float
+    """Gini coefficient of the per-cell counts (skew summary)."""
+
+    def to_text(self) -> str:
+        plot = _ascii_density(self.occupancy)
+        return (
+            f"Fig. 5: CFD-like data set ({self.n_points} points)\n"
+            f"  {self.center_fraction:.1%} of points fall in "
+            f"{self.center_area_fraction:.1%} of the area (center window)\n"
+            f"  empty grid cells: {self.empty_cell_fraction:.1%}   "
+            f"cell-count Gini: {self.gini:.3f}\n" + plot
+        )
+
+
+def run(n: int | None = None) -> Fig5Result:
+    """Characterise the CFD-like data set (Fig. 5 substitute)."""
+    data = get_dataset("cfd", n)
+    points = data.centers()
+
+    # Window around the wing system, in normalised coordinates.
+    lo = np.quantile(points, 0.25, axis=0)
+    hi = np.quantile(points, 0.75, axis=0)
+    window = Rect(tuple(lo), tuple(hi))
+    inside = np.all((points >= lo) & (points <= hi), axis=1)
+
+    cells = np.clip((points * _GRID).astype(int), 0, _GRID - 1)
+    occupancy = np.zeros((_GRID, _GRID), dtype=np.int64)
+    np.add.at(occupancy, (cells[:, 1], cells[:, 0]), 1)
+
+    counts = np.sort(occupancy.ravel())
+    cum = np.cumsum(counts, dtype=np.float64)
+    # Gini via the Lorenz-curve identity.
+    n_cells = counts.size
+    gini = float(
+        (n_cells + 1 - 2 * (cum / cum[-1]).sum()) / n_cells
+    )
+
+    return Fig5Result(
+        n_points=len(points),
+        center_window=window,
+        center_fraction=float(inside.mean()),
+        center_area_fraction=window.area,
+        occupancy=occupancy,
+        empty_cell_fraction=float((occupancy == 0).mean()),
+        gini=gini,
+    )
+
+
+def _ascii_density(occupancy: np.ndarray) -> str:
+    """Render the density grid with a log-scaled character ramp."""
+    ramp = " .:-=+*#%@"
+    with np.errstate(divide="ignore"):
+        levels = np.log1p(occupancy)
+    top = levels.max() or 1.0
+    scaled = (levels / top * (len(ramp) - 1)).astype(int)
+    # Row 0 of the grid is y=0; print top row first.
+    lines = []
+    for row in scaled[::-1]:
+        lines.append("  |" + "".join(ramp[v] for v in row) + "|")
+    return "\n".join(lines)

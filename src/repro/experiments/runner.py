@@ -1,0 +1,65 @@
+"""Command-line front end: ``repro-experiments <name> [...]``.
+
+Runs any of the paper's tables/figures and prints the regenerated
+rows/series.  ``repro-experiments all`` runs everything (Table 1 is
+the slow one — it simulates; its budget is controlled by the
+``REPRO_SIM_BATCHES`` / ``REPRO_SIM_QUERIES`` environment variables).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from . import fig5, fig6, fig7, fig8, fig9, fig10, fig11, table1, table2
+
+__all__ = ["main", "EXPERIMENTS"]
+
+EXPERIMENTS: dict[str, Callable[[], object]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+}
+"""Experiment names to zero-argument runners (paper defaults)."""
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro-experiments`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "names",
+        nargs="+",
+        metavar="experiment",
+        help=f"one or more of: {', '.join(EXPERIMENTS)}, or 'all'",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.names else args.names
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    for name in names:
+        start = time.perf_counter()
+        result = EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - start
+        print(result.to_text())
+        print(f"[{name} completed in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Table 2 — number of nodes per level of the deep pinning-study trees.
+
+"We created synthetic point data sets with 40,000 to 250,000 points and
+used nodes of size 25.  This resulted in R-trees with 4 levels" —
+Table 2 lists the node counts per level.  With ceil-division packing
+the counts are fully determined by the data size: e.g. 250,000 points
+give 10000/400/16/1 (leaf to root), so pinning the top three levels
+pins 417 pages, the number quoted in §5.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import Table, get_description
+
+__all__ = ["Table2Result", "run"]
+
+DEFAULT_SIZES = (40_000, 80_000, 120_000, 160_000, 200_000, 250_000)
+CAPACITY = 25
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Node counts per level (root first) for each data size."""
+
+    capacity: int
+    counts: dict[int, tuple[int, ...]]
+
+    def pinned_pages(self, size: int, levels: int) -> int:
+        """Pages pinned when pinning the top ``levels`` levels."""
+        return sum(self.counts[size][:levels])
+
+    def to_text(self) -> str:
+        height = max(len(c) for c in self.counts.values())
+        headers = ["points"] + [f"level {i}" for i in range(height)] + ["total"]
+        table = Table(headers)
+        for size, levels in sorted(self.counts.items()):
+            padded = list(levels) + [0] * (height - len(levels))
+            table.add(size, *padded, sum(levels))
+        return table.to_text(
+            f"Table 2: nodes per level (synthetic points, node size {self.capacity})"
+        )
+
+
+def run(sizes=DEFAULT_SIZES, loader: str = "hs") -> Table2Result:
+    """Reproduce Table 2 (tree shapes for the pinning study)."""
+    counts = {
+        size: get_description("point", size, CAPACITY, loader).node_counts
+        for size in sizes
+    }
+    return Table2Result(capacity=CAPACITY, counts=counts)

@@ -1,0 +1,6 @@
+"""Axis-parallel rectangle geometry (scalar and vectorised)."""
+
+from .rect import GeometryError, Rect, mbr_of, unit_rect
+from .rectarray import RectArray
+
+__all__ = ["GeometryError", "Rect", "RectArray", "mbr_of", "unit_rect"]

@@ -1,0 +1,21 @@
+"""Hilbert space-filling curve indices (2-D fast path + d-dimensional)."""
+
+from .curve import (
+    DEFAULT_ORDER,
+    hilbert_index,
+    hilbert_index_2d,
+    hilbert_sort_key,
+    morton_index,
+    morton_sort_key,
+    quantize,
+)
+
+__all__ = [
+    "DEFAULT_ORDER",
+    "hilbert_index",
+    "hilbert_index_2d",
+    "hilbert_sort_key",
+    "morton_index",
+    "morton_sort_key",
+    "quantize",
+]

@@ -1,0 +1,60 @@
+"""The paper's analytical cost models.
+
+* :mod:`~repro.model.access` — per-node access probabilities
+  ``A^Q_ij`` under uniform and data-driven query models;
+* :mod:`~repro.model.bufferless` — expected node accesses (the
+  Kamel–Faloutsos / Pagel metric the paper improves on);
+* :mod:`~repro.model.buffered` — the buffer model: ``D(N)``, ``N*``,
+  and expected disk accesses per query;
+* :mod:`~repro.model.pinning` — pinned-level analysis helpers.
+"""
+
+from .access import (
+    data_driven_probabilities,
+    query_corner_domain,
+    raw_region_probabilities,
+    uniform_point_probabilities,
+    uniform_region_probabilities,
+)
+from .buffered import (
+    BufferModelResult,
+    buffer_model,
+    buffer_model_sweep,
+    expected_distinct_nodes,
+    queries_to_fill_buffer,
+    steady_state_disk_accesses,
+)
+from .bufferless import (
+    Eq2Decomposition,
+    expected_node_accesses,
+    kamel_faloutsos_decomposition,
+    kamel_faloutsos_estimate,
+)
+from .pinning import (
+    PinningSweep,
+    max_pinnable_levels,
+    pinning_improvement,
+    sweep_pinning,
+)
+
+__all__ = [
+    "BufferModelResult",
+    "Eq2Decomposition",
+    "PinningSweep",
+    "buffer_model",
+    "buffer_model_sweep",
+    "data_driven_probabilities",
+    "expected_distinct_nodes",
+    "expected_node_accesses",
+    "kamel_faloutsos_decomposition",
+    "kamel_faloutsos_estimate",
+    "max_pinnable_levels",
+    "pinning_improvement",
+    "queries_to_fill_buffer",
+    "query_corner_domain",
+    "raw_region_probabilities",
+    "steady_state_disk_accesses",
+    "sweep_pinning",
+    "uniform_point_probabilities",
+    "uniform_region_probabilities",
+]

@@ -1,0 +1,112 @@
+"""The bufferless cost model (expected *node accesses* per query).
+
+This is the metric of Kamel & Faloutsos [4] and Pagel et al. [9] that
+the paper argues is insufficient on its own: the expected number of
+nodes touched by a query, regardless of whether they are buffered.
+
+Two variants are provided:
+
+* :func:`expected_node_accesses` — the corrected model actually used in
+  the paper (clipped probabilities of §3.1, or data-driven of §3.2),
+  parameterised by a workload;
+* :func:`kamel_faloutsos_estimate` — the original closed form (Eq. 2)
+  ``A + qx·Ly + qy·Lx + M·qx·qy``, exposed both directly and through
+  its area/extent decomposition, because it is the formula that links
+  query cost to the total area and perimeter of the node MBRs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from itertools import combinations
+from math import prod
+
+import numpy as np
+
+from ..rtree import TreeDescription
+from .access import raw_region_probabilities
+
+__all__ = [
+    "Eq2Decomposition",
+    "expected_node_accesses",
+    "kamel_faloutsos_decomposition",
+    "kamel_faloutsos_estimate",
+]
+
+
+def expected_node_accesses(desc: TreeDescription, workload) -> float:
+    """``EPT`` — expected nodes (buffered or not) touched per query.
+
+    ``workload`` is any object with an ``access_probabilities(rects)``
+    method (see :mod:`repro.queries`); the expectation is simply the
+    sum of per-node access probabilities over every level of the tree.
+    """
+    return float(np.sum(workload.access_probabilities(desc.all_rects)))
+
+
+def kamel_faloutsos_estimate(
+    desc: TreeDescription, extents: Sequence[float]
+) -> float:
+    """Eq. 2 of the paper — the original unclipped expectation.
+
+    In d dimensions this is ``Σ_nodes Π_k (X_k + q_k)``; for 2-D it
+    expands to ``A + qx·Ly + qy·Lx + M·qx·qy``.
+    """
+    return float(np.sum(raw_region_probabilities(desc.all_rects, extents)))
+
+
+@dataclass(frozen=True)
+class Eq2Decomposition:
+    """The terms of Eq. 2, for inspection and testing.
+
+    ``total`` equals ``sum_area + Σ_S (Π_{k∉S} q_k)·cross[S]`` where the
+    2-D case reads ``A + qx·Ly + qy·Lx + M·qx·qy``.
+    """
+
+    sum_area: float
+    """``A`` — sum of node MBR areas."""
+    sum_extents: tuple[float, ...]
+    """``(L_x, L_y, ...)`` — per-axis sums of node MBR extents."""
+    total_nodes: int
+    """``M`` — number of nodes."""
+    extents: tuple[float, ...]
+    """The query extents the decomposition was evaluated at."""
+    total: float
+    """The value of Eq. 2."""
+
+
+def kamel_faloutsos_decomposition(
+    desc: TreeDescription, extents: Sequence[float]
+) -> Eq2Decomposition:
+    """Eq. 2 with its area/extent/count terms broken out.
+
+    The general-d expansion of ``Σ Π_k (X_k + q_k)`` is
+    ``Σ_{S ⊆ axes} (Π_{k∉S} q_k) · Σ_nodes Π_{k∈S} X_k``; only the
+    2-D-relevant aggregates (``A``, per-axis ``L``, ``M``) are exposed
+    as fields, but ``total`` is exact in any dimension.
+    """
+    rects = desc.all_rects
+    dim = rects.dim
+    extents = tuple(float(q) for q in extents)
+    if len(extents) != dim:
+        raise ValueError(f"extents must have {dim} entries")
+    node_extents = rects.extents()
+
+    total = 0.0
+    for r in range(dim + 1):
+        for axes in combinations(range(dim), r):
+            q_factor = prod(extents[k] for k in range(dim) if k not in axes)
+            if axes:
+                x_sum = float(np.sum(np.prod(node_extents[:, list(axes)], axis=1)))
+            else:
+                x_sum = float(len(rects))
+            total += q_factor * x_sum
+
+    return Eq2Decomposition(
+        sum_area=rects.total_area(),
+        sum_extents=tuple(rects.total_extent(k) for k in range(dim)),
+        total_nodes=desc.total_nodes,
+        extents=extents,
+        total=total,
+    )

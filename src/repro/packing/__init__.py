@@ -1,0 +1,89 @@
+"""R-tree loading algorithms: TAT, NX, HS, and STR.
+
+A uniform facade is provided via :func:`load_tree` and
+:func:`load_description` so experiments can select loaders by name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..geometry import RectArray
+from ..rtree import RTree, TreeDescription
+from ..rtree.rstar import rstar_tree
+from .base import pack_description, pack_tree, resolve_ordering
+from .hilbert_sort import hs_description, hs_tree
+from .nearest_x import nx_description, nx_tree
+from .orderings import (
+    ORDERINGS,
+    hilbert_order,
+    nearest_x_order,
+    str_order,
+    zorder_order,
+)
+from .str_pack import str_description, str_tree
+from .tat import tat_description, tat_tree
+
+__all__ = [
+    "LOADERS",
+    "ORDERINGS",
+    "hilbert_order",
+    "hs_description",
+    "hs_tree",
+    "load_description",
+    "load_tree",
+    "nearest_x_order",
+    "nx_description",
+    "nx_tree",
+    "pack_description",
+    "pack_tree",
+    "resolve_ordering",
+    "rstar_tree",
+    "str_description",
+    "str_order",
+    "str_tree",
+    "tat_description",
+    "tat_tree",
+    "zorder_order",
+]
+
+LOADERS = ("tat", "rstar", "nx", "hs", "str", "zorder")
+"""Loader names accepted by :func:`load_tree` / :func:`load_description`.
+
+``tat`` and ``rstar`` insert one tuple at a time (Guttman quadratic and
+the R* policy respectively); the rest are bottom-up packings.
+"""
+
+
+def load_tree(
+    name: str,
+    data: RectArray,
+    capacity: int,
+    items: Sequence[Any] | None = None,
+) -> RTree:
+    """Build a queryable R-tree with the named loading algorithm."""
+    if name == "tat":
+        return tat_tree(data, capacity, items=items)
+    if name == "rstar":
+        return rstar_tree(data, capacity, items=items)
+    if name in ORDERINGS:
+        return pack_tree(data, capacity, name, items=items)
+    raise ValueError(f"unknown loader {name!r}; choices: {LOADERS}")
+
+
+def load_description(
+    name: str, data: RectArray, capacity: int
+) -> TreeDescription:
+    """Per-level node MBRs for the named loading algorithm.
+
+    For packed loaders this uses the fast vectorised path; TAT and R*
+    build the real tree (their structure depends on insertion
+    dynamics).
+    """
+    if name == "tat":
+        return tat_description(data, capacity)
+    if name == "rstar":
+        return TreeDescription.from_tree(rstar_tree(data, capacity))
+    if name in ORDERINGS:
+        return pack_description(data, capacity, name)
+    raise ValueError(f"unknown loader {name!r}; choices: {LOADERS}")

@@ -1,0 +1,141 @@
+"""The generic bottom-up packing algorithm of the paper's §2.2.
+
+Given an ordering rule, rectangles are placed into ``ceil(R / n)``
+consecutive groups of ``n``, each group becoming a leaf node; the leaf
+MBRs are then packed recursively "into nodes at the next level and up
+until only the root node remains", re-applying the ordering at every
+level.  The last group of a level may hold fewer than ``n`` entries.
+
+Two entry points are provided:
+
+* :func:`pack_description` — the fast path: computes only the per-level
+  node MBRs (a :class:`~repro.rtree.TreeDescription`), which is all the
+  analytical model needs.  Fully vectorised; packs 300k rectangles in
+  milliseconds.
+* :func:`pack_tree` — materialises a real, queryable
+  :class:`~repro.rtree.RTree` with the identical structure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..geometry import GeometryError, RectArray
+from ..rtree import Entry, Node, RTree, TreeDescription
+from .orderings import ORDERINGS, Ordering
+
+__all__ = ["pack_description", "pack_tree", "resolve_ordering"]
+
+
+def resolve_ordering(ordering: str | Ordering) -> Ordering:
+    """Look up an ordering by name, or pass a callable through."""
+    if isinstance(ordering, str):
+        try:
+            return ORDERINGS[ordering]
+        except KeyError:
+            raise ValueError(
+                f"unknown ordering {ordering!r}; choices: {sorted(ORDERINGS)}"
+            ) from None
+    return ordering
+
+
+def _check_capacity(capacity: int) -> None:
+    if capacity < 2:
+        raise ValueError("node capacity must be at least 2")
+
+
+def _group_mbrs(rects: RectArray, capacity: int) -> RectArray:
+    """MBRs of consecutive groups of ``capacity`` rectangles."""
+    boundaries = np.arange(0, len(rects), capacity)
+    lo = np.minimum.reduceat(rects.lo, boundaries, axis=0)
+    hi = np.maximum.reduceat(rects.hi, boundaries, axis=0)
+    return RectArray(lo, hi)
+
+
+def pack_description(
+    data: RectArray, capacity: int, ordering: str | Ordering
+) -> TreeDescription:
+    """Per-level node MBRs of the tree a packing algorithm would build.
+
+    Parameters
+    ----------
+    data:
+        The input rectangles (leaf-level data).
+    capacity:
+        Node capacity ``n`` (one node per page).
+    ordering:
+        Ordering name (``"nx"``, ``"hs"``, ``"str"``) or callable.
+    """
+    _check_capacity(capacity)
+    if len(data) == 0:
+        raise GeometryError("cannot pack an empty data set")
+    order_fn = resolve_ordering(ordering)
+
+    levels: list[RectArray] = []
+    current = data
+    while True:
+        perm = order_fn(current, capacity)
+        nodes = _group_mbrs(current[perm], capacity)
+        levels.append(nodes)
+        if len(nodes) == 1:
+            break
+        current = nodes
+    levels.reverse()
+    return TreeDescription(tuple(levels))
+
+
+def pack_tree(
+    data: RectArray,
+    capacity: int,
+    ordering: str | Ordering,
+    items: Sequence[Any] | None = None,
+) -> RTree:
+    """Build a real, queryable R-tree with the packed structure.
+
+    ``items[i]`` is stored with ``data.rect(i)``; by default the item is
+    the input index ``i``, which makes result checking in tests and
+    examples straightforward.
+    """
+    _check_capacity(capacity)
+    if len(data) == 0:
+        raise GeometryError("cannot pack an empty data set")
+    if items is not None and len(items) != len(data):
+        raise ValueError("items must align one-to-one with data rectangles")
+    order_fn = resolve_ordering(ordering)
+
+    perm = order_fn(data, capacity)
+    nodes: list[Node] = []
+    for start in range(0, len(data), capacity):
+        group = perm[start : start + capacity]
+        entries = [
+            Entry(
+                data.rect(int(i)),
+                item=(items[int(i)] if items is not None else int(i)),
+            )
+            for i in group
+        ]
+        nodes.append(Node(is_leaf=True, entries=entries))
+    height = 1
+
+    while len(nodes) > 1:
+        mbrs = RectArray.from_rects(node.mbr() for node in nodes)
+        perm = order_fn(mbrs, capacity)
+        parents: list[Node] = []
+        for start in range(0, len(nodes), capacity):
+            group = perm[start : start + capacity]
+            entries = [
+                Entry(mbrs.rect(int(i)), child=nodes[int(i)]) for i in group
+            ]
+            parents.append(Node(is_leaf=False, entries=entries))
+        nodes = parents
+        height += 1
+
+    return RTree._from_prebuilt(
+        root=nodes[0],
+        height=height,
+        size=len(data),
+        max_entries=capacity,
+        min_entries=1,
+    )

@@ -1,0 +1,28 @@
+"""Hilbert Sort (HS) packing — Kamel & Faloutsos [4].
+
+Rectangle centers are ordered by their position along the Hilbert
+space-filling curve; consecutive runs of ``capacity`` centers form the
+nodes, at every level of the tree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..geometry import RectArray
+from ..rtree import RTree, TreeDescription
+from .base import pack_description, pack_tree
+
+__all__ = ["hs_description", "hs_tree"]
+
+
+def hs_description(data: RectArray, capacity: int) -> TreeDescription:
+    """Per-level node MBRs of the Hilbert-sort-packed tree."""
+    return pack_description(data, capacity, "hs")
+
+
+def hs_tree(
+    data: RectArray, capacity: int, items: Sequence[Any] | None = None
+) -> RTree:
+    """A queryable Hilbert-sort-packed R-tree."""
+    return pack_tree(data, capacity, "hs", items=items)

@@ -1,0 +1,27 @@
+"""Nearest-X (NX) packing — Roussopoulos & Leifker [12].
+
+Rectangles are sorted by the x-coordinate of their centers and packed
+into nodes in that order, at every level of the tree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..geometry import RectArray
+from ..rtree import RTree, TreeDescription
+from .base import pack_description, pack_tree
+
+__all__ = ["nx_description", "nx_tree"]
+
+
+def nx_description(data: RectArray, capacity: int) -> TreeDescription:
+    """Per-level node MBRs of the NX-packed tree."""
+    return pack_description(data, capacity, "nx")
+
+
+def nx_tree(
+    data: RectArray, capacity: int, items: Sequence[Any] | None = None
+) -> RTree:
+    """A queryable NX-packed R-tree."""
+    return pack_tree(data, capacity, "nx", items=items)

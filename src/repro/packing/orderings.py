@@ -1,0 +1,121 @@
+"""Orderings used by the bottom-up packing algorithms.
+
+The paper's "General Algorithm" (§2.2) packs rectangles level by level
+and notes that "the algorithms differ only in how the rectangles at
+each level are ordered".  An ordering is therefore a callable
+
+    ordering(rects: RectArray, capacity: int) -> permutation
+
+returning the order in which rectangles are placed into consecutive
+nodes of ``capacity`` entries.  Most orderings ignore ``capacity``;
+STR needs it to size its slabs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from ..geometry import RectArray
+from ..hilbert import hilbert_sort_key, morton_sort_key
+
+__all__ = [
+    "Ordering",
+    "ORDERINGS",
+    "hilbert_order",
+    "nearest_x_order",
+    "str_order",
+    "zorder_order",
+]
+
+Ordering = Callable[[RectArray, int], np.ndarray]
+
+
+def nearest_x_order(rects: RectArray, capacity: int) -> np.ndarray:
+    """Nearest-X (NX): sort by the x-coordinate of rectangle centers.
+
+    Roussopoulos & Leifker [12] give no details, so — like the paper —
+    we use the center's x-coordinate.  The sort is stable, so equal
+    keys keep their input order (deterministic packing).
+    """
+    del capacity
+    return np.argsort(rects.centers()[:, 0], kind="stable")
+
+
+def hilbert_order(rects: RectArray, capacity: int) -> np.ndarray:
+    """Hilbert Sort (HS): sort centers by position along the Hilbert curve.
+
+    Kamel & Faloutsos [4]: "the center points of the rectangles are
+    sorted based on their distance from the origin as measured along
+    the Hilbert curve."
+    """
+    del capacity
+    keys = hilbert_sort_key(rects.centers())
+    return np.argsort(keys, kind="stable")
+
+
+def zorder_order(rects: RectArray, capacity: int) -> np.ndarray:
+    """Z-order (Morton) packing — the baseline Hilbert sort improved on.
+
+    Kamel & Faloutsos motivated Hilbert packing by its better locality
+    than bit-interleaved Z-order; this ordering lets the benchmark
+    suite quantify that gap under the buffer model (an extension).
+    """
+    del capacity
+    keys = morton_sort_key(rects.centers())
+    return np.argsort(keys, kind="stable")
+
+
+def str_order(rects: RectArray, capacity: int) -> np.ndarray:
+    """Sort-Tile-Recursive (STR) of Leutenegger, López & Edgington [7].
+
+    With ``P = ceil(n / capacity)`` pages and ``r`` axes left, the data
+    is sorted on the current axis, cut into ``ceil(P ** (1/r))`` slabs
+    of (nearly) equal cardinality, and each slab is ordered recursively
+    on the remaining axes.  Included as an extension: the paper cites
+    STR as one of the loading algorithms its model can evaluate.
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be positive")
+    centers = rects.centers()
+    n, dim = centers.shape
+    order = np.empty(n, dtype=np.int64)
+    _str_fill(order, np.arange(n, dtype=np.int64), centers, capacity, 0, dim, 0)
+    return order
+
+
+def _str_fill(
+    out: np.ndarray,
+    idx: np.ndarray,
+    centers: np.ndarray,
+    capacity: int,
+    axis: int,
+    dim: int,
+    start: int,
+) -> int:
+    """Recursively write the STR ordering of ``idx`` into ``out[start:]``."""
+    ranked = idx[np.argsort(centers[idx, axis], kind="stable")]
+    if axis == dim - 1:
+        out[start : start + len(ranked)] = ranked
+        return start + len(ranked)
+    n = len(ranked)
+    pages = math.ceil(n / capacity)
+    remaining_axes = dim - axis
+    slabs = max(1, math.ceil(pages ** (1.0 / remaining_axes)))
+    slab_size = math.ceil(n / slabs)
+    for lo in range(0, n, slab_size):
+        start = _str_fill(
+            out, ranked[lo : lo + slab_size], centers, capacity, axis + 1, dim, start
+        )
+    return start
+
+
+ORDERINGS: dict[str, Ordering] = {
+    "nx": nearest_x_order,
+    "hs": hilbert_order,
+    "str": str_order,
+    "zorder": zorder_order,
+}
+"""Registry of packing orderings by short name."""

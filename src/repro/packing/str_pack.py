@@ -1,0 +1,28 @@
+"""Sort-Tile-Recursive (STR) packing — Leutenegger, López & Edgington [7].
+
+Included as an extension: STR is the authors' own follow-up loader and
+one of the "loading algorithms [4], [7], [12]" the paper says its
+buffer model can evaluate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..geometry import RectArray
+from ..rtree import RTree, TreeDescription
+from .base import pack_description, pack_tree
+
+__all__ = ["str_description", "str_tree"]
+
+
+def str_description(data: RectArray, capacity: int) -> TreeDescription:
+    """Per-level node MBRs of the STR-packed tree."""
+    return pack_description(data, capacity, "str")
+
+
+def str_tree(
+    data: RectArray, capacity: int, items: Sequence[Any] | None = None
+) -> RTree:
+    """A queryable STR-packed R-tree."""
+    return pack_tree(data, capacity, "str", items=items)

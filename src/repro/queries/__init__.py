@@ -1,0 +1,17 @@
+"""Query workload distributions."""
+
+from .mixed import MixedWorkload
+from .workloads import (
+    DataDrivenWorkload,
+    QueryWorkload,
+    UniformPointWorkload,
+    UniformRegionWorkload,
+)
+
+__all__ = [
+    "DataDrivenWorkload",
+    "MixedWorkload",
+    "QueryWorkload",
+    "UniformPointWorkload",
+    "UniformRegionWorkload",
+]

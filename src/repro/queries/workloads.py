@@ -1,0 +1,174 @@
+"""Query workloads: uniform point, uniform region, and data-driven.
+
+A workload bundles the two views of a query distribution that the rest
+of the library needs:
+
+* the **analytic** view — :meth:`QueryWorkload.access_probabilities`
+  returns ``A^Q_ij`` for an array of node MBRs (delegating to
+  :mod:`repro.model.access`), and
+* the **simulation** view — every one of the paper's query models is
+  equivalent to a *point* test against suitably transformed node MBRs
+  (Fig. 2 for uniform region queries, Fig. 4 for data-driven ones), so
+  a workload exposes :meth:`transformed_rects` plus a point sampler and
+  the §4 simulator only ever does point-in-rectangle tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..geometry import GeometryError, RectArray
+from ..model.access import (
+    data_driven_probabilities,
+    query_corner_domain,
+    uniform_region_probabilities,
+)
+
+__all__ = [
+    "DataDrivenWorkload",
+    "QueryWorkload",
+    "UniformPointWorkload",
+    "UniformRegionWorkload",
+]
+
+
+class QueryWorkload(ABC):
+    """A distribution over spatial queries of fixed size."""
+
+    def __init__(self, extents: Sequence[float]) -> None:
+        extents = tuple(float(q) for q in extents)
+        if not extents:
+            raise GeometryError("query extents must have >= 1 dimension")
+        if any(q < 0 for q in extents):
+            raise GeometryError("query extents must be non-negative")
+        if any(q >= 1 for q in extents):
+            raise GeometryError("query extents must be smaller than the unit cube")
+        self.extents = extents
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the query space."""
+        return len(self.extents)
+
+    @property
+    def is_point(self) -> bool:
+        """True when every query extent is zero."""
+        return all(q == 0.0 for q in self.extents)
+
+    @abstractmethod
+    def access_probabilities(self, rects: RectArray) -> np.ndarray:
+        """``A^Q_ij`` for each node MBR in ``rects``."""
+
+    @abstractmethod
+    def transformed_rects(self, rects: RectArray) -> RectArray:
+        """Node MBRs transformed so queries reduce to point tests."""
+
+    @abstractmethod
+    def sample_points(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """``(n, d)`` representative points, one per query."""
+
+
+class UniformRegionWorkload(QueryWorkload):
+    """Region queries of size ``q`` uniform over the unit cube (§3.1).
+
+    The query's top-right corner is uniform over
+    ``U' = Π_k [q_k, 1]``, so the whole region fits within ``U``;
+    a query touches a node iff the corner lies in the node's extended
+    MBR (Fig. 2).
+    """
+
+    def access_probabilities(self, rects: RectArray) -> np.ndarray:
+        self._check_dim(rects)
+        return uniform_region_probabilities(rects, self.extents)
+
+    def transformed_rects(self, rects: RectArray) -> RectArray:
+        self._check_dim(rects)
+        return rects.extended(self.extents)
+
+    def sample_points(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        domain = query_corner_domain(self.extents, self.dim)
+        lo = np.asarray(domain.lo)
+        hi = np.asarray(domain.hi)
+        return lo + rng.random((n, self.dim)) * (hi - lo)
+
+    def _check_dim(self, rects: RectArray) -> None:
+        if rects.dim != self.dim:
+            raise GeometryError(
+                f"workload is {self.dim}-D but rects are {rects.dim}-D"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        q = "x".join(f"{e:g}" for e in self.extents)
+        return f"UniformRegionWorkload({q})"
+
+
+class UniformPointWorkload(UniformRegionWorkload):
+    """Point queries uniform over the unit cube — regions of size zero."""
+
+    def __init__(self, dim: int = 2) -> None:
+        super().__init__((0.0,) * dim)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UniformPointWorkload(dim={self.dim})"
+
+
+class DataDrivenWorkload(QueryWorkload):
+    """Queries centred on the centres of the data rectangles (§3.2).
+
+    "A query is always a ``qx × qy`` rectangle with center ``c_j``,
+    where ``j`` is uniformly chosen at random" — so densely populated
+    areas are queried more often, mimicking how researchers access
+    data sets like the CFD grid.
+
+    Parameters
+    ----------
+    centers:
+        ``(n, d)`` array of data rectangle centres.
+    extents:
+        Query side lengths (all zeros for point queries).
+    """
+
+    def __init__(self, centers: np.ndarray, extents: Sequence[float]) -> None:
+        super().__init__(extents)
+        centers = np.asarray(centers, dtype=np.float64)
+        if centers.ndim != 2 or centers.shape[1] != self.dim:
+            raise GeometryError(
+                f"centers must be (n, {self.dim}); got shape {centers.shape}"
+            )
+        if centers.shape[0] == 0:
+            raise GeometryError("data-driven workloads need at least one center")
+        self.centers = centers
+
+    @classmethod
+    def from_rects(
+        cls, data: RectArray, extents: Sequence[float] | None = None
+    ) -> "DataDrivenWorkload":
+        """Build from the data rectangles themselves (point queries default)."""
+        if extents is None:
+            extents = (0.0,) * data.dim
+        return cls(data.centers(), extents)
+
+    def access_probabilities(self, rects: RectArray) -> np.ndarray:
+        if rects.dim != self.dim:
+            raise GeometryError(
+                f"workload is {self.dim}-D but rects are {rects.dim}-D"
+            )
+        return data_driven_probabilities(rects, self.centers, self.extents)
+
+    def transformed_rects(self, rects: RectArray) -> RectArray:
+        if rects.dim != self.dim:
+            raise GeometryError(
+                f"workload is {self.dim}-D but rects are {rects.dim}-D"
+            )
+        return rects.expanded_centered(self.extents)
+
+    def sample_points(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        picks = rng.integers(self.centers.shape[0], size=n)
+        return self.centers[picks]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        q = "x".join(f"{e:g}" for e in self.extents)
+        return f"DataDrivenWorkload(n={self.centers.shape[0]}, q={q})"

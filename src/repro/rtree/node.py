@@ -1,0 +1,67 @@
+"""R-tree node and entry structures.
+
+An R-tree node stores up to ``max_entries`` entries.  Each entry pairs a
+rectangle with either a child node (internal nodes) or an opaque item
+(leaf nodes) — the ``(R, P)`` pairs of the paper's §2.1.  At the leaf
+level ``R`` is the bounding box of an actual object; at internal nodes
+``R`` is the MBR of everything stored in the subtree.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..geometry import GeometryError, Rect, mbr_of
+
+__all__ = ["Entry", "Node"]
+
+
+class Entry:
+    """A single ``(rectangle, pointer)`` slot of an R-tree node."""
+
+    __slots__ = ("rect", "child", "item")
+
+    def __init__(
+        self,
+        rect: Rect,
+        child: "Node | None" = None,
+        item: Any = None,
+    ) -> None:
+        if child is not None and item is not None:
+            raise ValueError("an entry points to a child node or an item, not both")
+        self.rect = rect
+        self.child = child
+        self.item = item
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        target = "child" if self.child is not None else f"item={self.item!r}"
+        return f"Entry({self.rect!r}, {target})"
+
+
+class Node:
+    """An R-tree node: a leaf holding items or an internal routing node."""
+
+    __slots__ = ("is_leaf", "entries")
+
+    def __init__(self, is_leaf: bool, entries: list[Entry] | None = None) -> None:
+        self.is_leaf = is_leaf
+        self.entries: list[Entry] = entries if entries is not None else []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def mbr(self) -> Rect:
+        """Minimum bounding rectangle of all entries in this node."""
+        if not self.entries:
+            raise GeometryError("mbr() of an empty node")
+        return mbr_of(e.rect for e in self.entries)
+
+    def children(self) -> list["Node"]:
+        """Child nodes (internal nodes only)."""
+        if self.is_leaf:
+            return []
+        return [e.child for e in self.entries if e.child is not None]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "leaf" if self.is_leaf else "internal"
+        return f"Node({kind}, n={len(self.entries)})"

@@ -1,0 +1,23 @@
+"""LRU-buffer query simulation, batch means, and model validation."""
+
+from .batchmeans import BatchMeansEstimate, batch_means
+from .engine import SimulationResult, simulate
+from .stats import (
+    regularized_incomplete_beta,
+    student_t_cdf,
+    student_t_quantile,
+)
+from .validation import ValidationReport, ValidationRow, validate_model
+
+__all__ = [
+    "BatchMeansEstimate",
+    "SimulationResult",
+    "ValidationReport",
+    "ValidationRow",
+    "batch_means",
+    "regularized_incomplete_beta",
+    "simulate",
+    "student_t_cdf",
+    "student_t_quantile",
+    "validate_model",
+]

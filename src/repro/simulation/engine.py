@@ -1,0 +1,222 @@
+"""The validation simulator of the paper's §4.
+
+"The simulation models an LRU buffer and, like the model, takes as
+input the list of the MBRs for all nodes at all levels.  It then
+generates random point queries in the unit square and checks each
+node's MBR to see if it contains the point.  If the MBR does contain
+the point, the node is requested from the buffer pool."
+
+Every query model in the paper reduces to a point test against
+transformed node MBRs (see :mod:`repro.queries`), so the simulator is a
+single loop: sample representative points, find the containing
+(transformed) MBRs, and request those nodes from the buffer top-down.
+Disk accesses are buffer misses; estimates carry batch-means confidence
+intervals exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..buffer import BufferPool, POLICIES
+from ..queries.mixed import MixedWorkload
+from ..rtree import TreeDescription
+from .batchmeans import BatchMeansEstimate, batch_means
+
+__all__ = ["SimulationResult", "simulate"]
+
+_CHUNK = 4096
+"""Queries vectorised per containment-matrix block."""
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Measured per-query costs for one tree / workload / buffer setup."""
+
+    disk_accesses: BatchMeansEstimate
+    """Pages required from disk per query (buffer misses)."""
+    node_accesses: BatchMeansEstimate
+    """Nodes touched per query (the bufferless metric)."""
+    warmup_queries: int
+    """Queries executed before measurement began."""
+    buffer_filled: bool
+    """Whether the buffer was full when measurement began."""
+
+    @property
+    def hit_ratio(self) -> float:
+        """Measured steady-state buffer hit probability."""
+        if self.node_accesses.mean == 0.0:
+            return 1.0
+        return 1.0 - self.disk_accesses.mean / self.node_accesses.mean
+
+
+def simulate(
+    desc: TreeDescription,
+    workload,
+    buffer_size: int,
+    *,
+    pinned_levels: int = 0,
+    n_batches: int = 20,
+    batch_size: int = 5000,
+    warmup_queries: int | None = None,
+    warmup_cap: int = 100_000,
+    policy: str = "lru",
+    confidence: float = 0.90,
+    rng: np.random.Generator | int | None = None,
+) -> SimulationResult:
+    """Simulate the buffer and measure disk accesses per query.
+
+    Parameters
+    ----------
+    desc:
+        Per-level node MBRs (level-major node ids are the page ids).
+    workload:
+        A workload from :mod:`repro.queries` (anything exposing
+        ``transformed_rects`` and ``sample_points``).
+    buffer_size:
+        Buffer capacity in pages.
+    pinned_levels:
+        Top tree levels preloaded and pinned (they always hit and are
+        excluded from replacement, as in §3.3 / §5.5).
+    n_batches, batch_size, confidence:
+        Batch-means measurement parameters (the paper uses 20 batches;
+        its batch size of 10⁶ is configurable here for runtime).
+    warmup_queries:
+        Queries run before measurement.  ``None`` (default) warms up
+        until the buffer first fills, capped at ``warmup_cap`` — the
+        moment the model's steady-state approximation refers to.
+    policy:
+        Replacement policy name (``lru``, ``fifo``, ``clock``,
+        ``random``); the paper's model targets LRU.
+    rng:
+        Seed or generator for query sampling (default: seed 0).
+    """
+    if n_batches < 2:
+        raise ValueError("need at least two batches for confidence intervals")
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    if warmup_cap < 0:
+        raise ValueError("warmup_cap must be non-negative")
+    if not 0 <= pinned_levels <= desc.height:
+        raise ValueError(f"pinned_levels must be in [0, {desc.height}]")
+    if rng is None or isinstance(rng, int):
+        rng = np.random.default_rng(0 if rng is None else rng)
+
+    if isinstance(workload, MixedWorkload):
+        transformed = workload.component_transforms(desc.all_rects)
+    else:
+        transformed = workload.transformed_rects(desc.all_rects)
+    pinned_ids = range(desc.level_offsets[pinned_levels])
+    buffer = _make_buffer(policy, buffer_size, pinned_ids, rng)
+
+    # ------------------------------------------------------------------
+    # Warm-up: reach the state the model's steady-state estimate targets.
+    # ------------------------------------------------------------------
+    warmed = 0
+    if warmup_queries is None:
+        while not buffer.is_full() and warmed < warmup_cap:
+            step = min(_CHUNK, warmup_cap - warmed)
+            _run_queries(buffer, transformed, workload, rng, step)
+            warmed += step
+    else:
+        remaining = warmup_queries
+        while remaining > 0:
+            step = min(_CHUNK, remaining)
+            _run_queries(buffer, transformed, workload, rng, step)
+            warmed += step
+            remaining -= step
+    buffer_filled = buffer.is_full()
+
+    # ------------------------------------------------------------------
+    # Measurement: batch means over misses and accesses per query.
+    # ------------------------------------------------------------------
+    miss_means: list[float] = []
+    access_means: list[float] = []
+    for _ in range(n_batches):
+        misses = 0
+        accesses = 0
+        remaining = batch_size
+        while remaining > 0:
+            step = min(_CHUNK, remaining)
+            m, a = _run_queries(buffer, transformed, workload, rng, step)
+            misses += m
+            accesses += a
+            remaining -= step
+        miss_means.append(misses / batch_size)
+        access_means.append(accesses / batch_size)
+
+    return SimulationResult(
+        disk_accesses=batch_means(miss_means, confidence=confidence),
+        node_accesses=batch_means(access_means, confidence=confidence),
+        warmup_queries=warmed,
+        buffer_filled=buffer_filled,
+    )
+
+
+def _make_buffer(
+    policy: str,
+    buffer_size: int,
+    pinned_ids,
+    rng: np.random.Generator,
+) -> BufferPool:
+    if policy == "random":
+        return POLICIES["random"](buffer_size, pinned_ids, rng=rng)
+    try:
+        cls = POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {policy!r}; choices: {sorted(POLICIES)}"
+        ) from None
+    return cls(buffer_size, pinned_ids)
+
+
+def _run_queries(
+    buffer: BufferPool,
+    transformed,
+    workload,
+    rng: np.random.Generator,
+    count: int,
+) -> tuple[int, int]:
+    """Run ``count`` queries through the buffer; return (misses, accesses).
+
+    Node ids come out of ``nonzero`` in ascending (level-major) order,
+    i.e. top-down, matching a recursive traversal's request order.
+    """
+    if isinstance(workload, MixedWorkload):
+        contains = _mixed_containment(transformed, workload, rng, count)
+    else:
+        points = workload.sample_points(count, rng)
+        contains = transformed.contains_points(points)
+    request = buffer.request
+    misses = 0
+    accesses = 0
+    for row in contains:
+        ids = np.nonzero(row)[0]
+        accesses += ids.size
+        for node_id in ids:
+            if not request(int(node_id)):
+                misses += 1
+    return misses, accesses
+
+
+def _mixed_containment(
+    transforms,
+    workload: MixedWorkload,
+    rng: np.random.Generator,
+    count: int,
+) -> np.ndarray:
+    """Containment rows for a mixture: each query is drawn from one
+    component and tested against that component's transformed MBRs,
+    with the original query order preserved for the buffer."""
+    assignments = workload.sample_assignments(count, rng)
+    n_rects = len(transforms[0])
+    contains = np.zeros((count, n_rects), dtype=bool)
+    for c, component in enumerate(workload.workloads):
+        idx = np.nonzero(assignments == c)[0]
+        if idx.size == 0:
+            continue
+        points = component.sample_points(idx.size, rng)
+        contains[idx] = transforms[c].contains_points(points)
+    return contains

@@ -1,0 +1,116 @@
+"""Small self-contained statistics helpers for the simulator.
+
+Only what the batch-means machinery needs: the regularised incomplete
+beta function (via the Lentz continued fraction of Numerical Recipes),
+the Student-t CDF built on it, and the t quantile via bisection.  Kept
+dependency-free so the core library needs nothing beyond numpy.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["regularized_incomplete_beta", "student_t_cdf", "student_t_quantile"]
+
+_MAX_ITER = 300
+_EPS = 3.0e-14
+_TINY = 1.0e-300
+
+
+def _beta_continued_fraction(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta (Lentz's method)."""
+    qab = a + b
+    qap = a + 1.0
+    qam = a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < _TINY:
+        d = _TINY
+    d = 1.0 / d
+    h = d
+    for m in range(1, _MAX_ITER + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _TINY:
+            d = _TINY
+        c = 1.0 + aa / c
+        if abs(c) < _TINY:
+            c = _TINY
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _TINY:
+            d = _TINY
+        c = 1.0 + aa / c
+        if abs(c) < _TINY:
+            c = _TINY
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _EPS:
+            return h
+    raise ArithmeticError("incomplete beta continued fraction did not converge")
+
+
+def regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """``I_x(a, b)`` for ``a, b > 0`` and ``x`` in ``[0, 1]``."""
+    if a <= 0 or b <= 0:
+        raise ValueError("a and b must be positive")
+    if not 0.0 <= x <= 1.0:
+        raise ValueError("x must be in [0, 1]")
+    if x == 0.0:
+        return 0.0
+    if x == 1.0:
+        return 1.0
+    ln_front = (
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log1p(-x)
+    )
+    front = math.exp(ln_front)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_continued_fraction(a, b, x) / a
+    return 1.0 - front * _beta_continued_fraction(b, a, 1.0 - x) / b
+
+
+def student_t_cdf(t: float, df: float) -> float:
+    """CDF of Student's t distribution with ``df`` degrees of freedom."""
+    if df <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    if t == 0.0:
+        return 0.5
+    x = df / (df + t * t)
+    tail = 0.5 * regularized_incomplete_beta(df / 2.0, 0.5, x)
+    return 1.0 - tail if t > 0 else tail
+
+
+def student_t_quantile(p: float, df: float) -> float:
+    """Inverse CDF of Student's t (bisection; |result| < 1e8)."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    if df <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    if p == 0.5:
+        return 0.0
+    lo, hi = -1.0, 1.0
+    while student_t_cdf(lo, df) > p:
+        lo *= 2.0
+        if lo < -1e8:
+            break
+    while student_t_cdf(hi, df) < p:
+        hi *= 2.0
+        if hi > 1e8:
+            break
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if student_t_cdf(mid, df) < p:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < 1e-12 * max(1.0, abs(hi)):
+            break
+    return 0.5 * (lo + hi)

@@ -1,0 +1,114 @@
+"""Tests for the CFD-like substitute (Fig. 5 / §5.4 properties)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import CFD_SIZE, WING_ELEMENTS, Airfoil, cfd_like
+from repro.packing import load_description
+
+
+@pytest.fixture(scope="module")
+def data():
+    return cfd_like()
+
+
+class TestAirfoil:
+    def test_surface_points_straddle_boundary(self):
+        # Containment is evaluated through a local-frame round-trip, so
+        # exact-boundary points are ambiguous at the 1e-16 level; test
+        # with a small outward/inward nudge instead.
+        foil = Airfoil(leading_edge=(0.3, 0.5), chord=0.25, angle=0.0, thickness=0.12)
+        s = np.linspace(0.05, 0.95, 20)
+        upper = foil.surface_point(s, np.ones(20, dtype=bool))
+        lower = foil.surface_point(s, np.zeros(20, dtype=bool))
+        mid = (upper + lower) / 2
+        assert not foil.contains(upper + (upper - mid) * 1e-6).any()
+        assert not foil.contains(lower + (lower - mid) * 1e-6).any()
+        # The camber line is inside the body.
+        assert foil.contains(mid).all()
+
+    def test_rotated_surface_points_near_boundary(self):
+        # With rotation the round-trip is inexact; points nudged just
+        # outside the surface must not be contained, just inside must.
+        foil = WING_ELEMENTS[0]
+        s = np.linspace(0.1, 0.9, 15)
+        upper = foil.surface_point(s, np.ones(15, dtype=bool))
+        lower = foil.surface_point(s, np.zeros(15, dtype=bool))
+        mid = (upper + lower) / 2
+        outward = upper + (upper - mid) * 1e-3
+        inward = upper - (upper - mid) * 1e-3
+        assert not foil.contains(outward).any()
+        assert foil.contains(inward).all()
+
+    def test_outside_chord_not_contained(self):
+        foil = Airfoil(leading_edge=(0.5, 0.5), chord=0.2, angle=0.0, thickness=0.12)
+        pts = np.array([[0.4, 0.5], [0.8, 0.5], [0.5, 0.8]])
+        assert not foil.contains(pts).any()
+
+    def test_rotation_moves_trailing_edge_down(self):
+        flat = Airfoil((0.5, 0.5), 0.2, 0.0, 0.1)
+        tilted = Airfoil((0.5, 0.5), 0.2, 0.5, 0.1)
+        te_flat = flat.surface_point(np.array([1.0]), np.array([True]))[0]
+        te_tilted = tilted.surface_point(np.array([1.0]), np.array([True]))[0]
+        assert te_tilted[1] < te_flat[1]
+
+
+class TestDataSet:
+    def test_default_size(self, data):
+        assert CFD_SIZE == 52_510
+        assert len(data) == CFD_SIZE
+
+    def test_points_only(self, data):
+        assert np.array_equal(data.lo, data.hi)
+
+    def test_normalised(self, data):
+        assert (data.lo >= 0).all() and (data.hi <= 1).all()
+
+    def test_deterministic(self):
+        assert cfd_like(300, rng=737) == cfd_like(300, rng=737)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cfd_like(0)
+
+    def test_highly_skewed_density(self, data):
+        """Fig. 5: dense near the wing, sparse far field — the densest
+        1% of grid cells must hold a large share of all points."""
+        pts = data.centers()
+        cells = np.clip((pts * 50).astype(int), 0, 49)
+        counts = np.bincount(cells[:, 0] * 50 + cells[:, 1], minlength=2500)
+        top_1pct = np.sort(counts)[-25:].sum()
+        assert top_1pct / len(pts) > 0.25
+
+    def test_blank_regions_inside_wing(self, data):
+        """The 'blank ovalish areas are parts of the wing': the dense
+        near-surface band must surround empty cells (the body
+        interiors), i.e. zero-count grid cells adjacent to hot ones."""
+        pts = data.centers()
+        cells = np.clip((pts * 100).astype(int), 0, 99)
+        counts = np.bincount(cells[:, 0] * 100 + cells[:, 1], minlength=10000)
+        grid = counts.reshape(100, 100)
+        # The hottest region (near-surface band):
+        hot = np.sort(grid.ravel())[-50:].mean()
+        # Find empty cells adjacent to hot cells (interior holes).
+        hot_mask = grid > hot * 0.2
+        empty_mask = grid == 0
+        neighbours = np.zeros_like(empty_mask)
+        neighbours[1:, :] |= hot_mask[:-1, :]
+        neighbours[:-1, :] |= hot_mask[1:, :]
+        neighbours[:, 1:] |= hot_mask[:, :-1]
+        neighbours[:, :-1] |= hot_mask[:, 1:]
+        holes = (empty_mask & neighbours).sum()
+        assert holes >= 3
+
+    def test_uniform_queries_find_hot_nodes(self, data):
+        """§5.4: with high variance in MBR size, a few nodes absorb
+        most uniform accesses, so a modest buffer nearly eliminates
+        disk traffic for uniform queries but not data-driven ones."""
+        from repro.model import buffer_model
+        from repro.queries import DataDrivenWorkload, UniformPointWorkload
+
+        desc = load_description("hs", data, 100)
+        uniform = buffer_model(desc, UniformPointWorkload(), 200)
+        driven = buffer_model(desc, DataDrivenWorkload.from_rects(data), 200)
+        assert uniform.disk_accesses < 0.3 * driven.disk_accesses

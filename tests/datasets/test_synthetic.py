@@ -1,0 +1,84 @@
+"""Tests for the synthetic region / point generators (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import REGION_MAX_SIDE, synthetic_point, synthetic_region
+from repro.geometry import unit_rect
+
+
+class TestRegion:
+    def test_count_and_dim(self):
+        arr = synthetic_region(5000, rng=1)
+        assert len(arr) == 5000
+        assert arr.dim == 2
+
+    def test_paper_max_side(self):
+        assert REGION_MAX_SIDE == pytest.approx(0.01)
+
+    def test_all_are_squares(self):
+        arr = synthetic_region(2000, rng=2)
+        ext = arr.extents()
+        assert ext[:, 0] == pytest.approx(ext[:, 1])
+
+    def test_sides_in_range(self):
+        arr = synthetic_region(5000, rng=3)
+        sides = arr.extents()[:, 0]
+        assert (sides >= 0).all()
+        assert (sides <= REGION_MAX_SIDE).all()
+        assert sides.max() > 0.9 * REGION_MAX_SIDE  # actually uses the range
+
+    def test_inside_unit_square(self):
+        arr = synthetic_region(5000, rng=4)
+        unit = unit_rect(2)
+        assert (arr.lo >= 0).all() and (arr.hi <= 1).all()
+        assert unit.contains_rect(arr.mbr())
+
+    def test_total_area_matches_expectation(self):
+        """E[total area] = n·ρ²/3 (the paper quotes ~0.25 per 10k using
+        the mean side; the exact second moment gives 1/3)."""
+        arr = synthetic_region(100_000, rng=5)
+        expected = 100_000 * REGION_MAX_SIDE**2 / 3
+        assert arr.total_area() == pytest.approx(expected, rel=0.05)
+
+    def test_deterministic_by_seed(self):
+        a = synthetic_region(100, rng=7)
+        b = synthetic_region(100, rng=7)
+        assert a == b
+        c = synthetic_region(100, rng=8)
+        assert a != c
+
+    def test_centers_roughly_uniform(self):
+        arr = synthetic_region(20_000, rng=9)
+        centers = arr.centers()
+        # Quadrant counts should be balanced.
+        q = (centers > 0.5).astype(int)
+        counts = np.bincount(q[:, 0] * 2 + q[:, 1], minlength=4)
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_region(0)
+        with pytest.raises(ValueError):
+            synthetic_region(10, max_side=1.5)
+
+
+class TestPoint:
+    def test_degenerate_rectangles(self):
+        arr = synthetic_point(1000, rng=1)
+        assert np.array_equal(arr.lo, arr.hi)
+        assert arr.total_area() == 0.0
+
+    def test_uniform_coverage(self):
+        arr = synthetic_point(20_000, rng=2)
+        pts = arr.centers()
+        hist, _, _ = np.histogram2d(pts[:, 0], pts[:, 1], bins=5)
+        assert hist.min() > 0.7 * hist.max()
+
+    def test_dim_parameter(self):
+        arr = synthetic_point(100, rng=3, dim=4)
+        assert arr.dim == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_point(-1)

@@ -1,0 +1,89 @@
+"""Tests for the TIGER-like substitute.
+
+These assertions pin the properties DESIGN.md §4 promises — the ones
+the paper's experiments actually depend on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import TIGER_SIZE, tiger_like
+from repro.packing import load_description
+
+
+@pytest.fixture(scope="module")
+def data():
+    return tiger_like()
+
+
+class TestBasicShape:
+    def test_default_size_matches_long_beach(self, data):
+        assert TIGER_SIZE == 53_145
+        assert len(data) == TIGER_SIZE
+
+    def test_normalised_to_unit_square(self, data):
+        assert (data.lo >= 0).all() and (data.hi <= 1).all()
+        mbr = data.mbr()
+        assert mbr.lo == pytest.approx((0.0, 0.0), abs=1e-9)
+        assert mbr.hi == pytest.approx((1.0, 1.0), abs=1e-9)
+
+    def test_segments_are_small(self, data):
+        ext = data.extents()
+        assert ext.max() < 0.03  # block-level segments only
+
+    def test_paper_tree_structure_at_capacity_100(self, data):
+        desc = load_description("hs", data, 100)
+        assert desc.node_counts == (1, 6, 532)
+
+    def test_deterministic(self):
+        a = tiger_like(500, rng=1998)
+        b = tiger_like(500, rng=1998)
+        assert a == b
+
+    def test_custom_size(self):
+        assert len(tiger_like(1234, rng=0)) == 1234
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tiger_like(0)
+
+
+class TestSkewProperties:
+    def test_large_empty_regions(self, data):
+        """§5.4: 'large portions of empty space' — a sizeable share of
+        uniform point queries must land outside every leaf-level MBR
+        region; we check raw emptiness on a coarse grid."""
+        centers = data.centers()
+        cells = np.clip((centers * 20).astype(int), 0, 19)
+        occupancy = np.zeros((20, 20), dtype=bool)
+        occupancy[cells[:, 0], cells[:, 1]] = True
+        empty_fraction = 1.0 - occupancy.mean()
+        assert empty_fraction > 0.15
+
+    def test_clustered_not_uniform(self, data):
+        """Per-cell counts should be far more dispersed than a uniform
+        scatter (Poisson) would produce."""
+        centers = data.centers()
+        cells = np.clip((centers * 20).astype(int), 0, 19)
+        counts = np.bincount(cells[:, 0] * 20 + cells[:, 1], minlength=400)
+        dispersion = counts.var() / counts.mean()
+        assert dispersion > 5.0  # Poisson would give ~1
+
+    def test_uniform_queries_cheaper_than_data_driven(self, data):
+        """The Fig. 7 premise: uniform point queries often fall in
+        empty space and cost less than data-driven queries."""
+        from repro.model import expected_node_accesses
+        from repro.queries import DataDrivenWorkload, UniformPointWorkload
+
+        desc = load_description("hs", data, 100)
+        uniform = expected_node_accesses(desc, UniformPointWorkload())
+        driven = expected_node_accesses(
+            desc, DataDrivenWorkload.from_rects(data)
+        )
+        assert driven > uniform
+
+    def test_node_area_variance_creates_hot_nodes(self, data):
+        """§5.4 explains buffer benefit via variance in MBR size."""
+        desc = load_description("hs", data, 100)
+        leaf_areas = desc.levels[-1].areas()
+        assert leaf_areas.max() > 5 * np.median(leaf_areas)

@@ -1,0 +1,52 @@
+"""Unit tests for the shared Fig. 7/8 machinery."""
+
+import math
+
+import pytest
+
+from repro.experiments.uniform_vs_datadriven import (
+    UniformVsDataDrivenResult,
+    run_comparison,
+)
+
+
+@pytest.fixture
+def result() -> UniformVsDataDrivenResult:
+    return UniformVsDataDrivenResult(
+        dataset="demo",
+        figure="Fig. X",
+        buffer_sizes=(10, 100, 500),
+        uniform=(2.0, 1.0, 0.5),
+        data_driven=(4.0, 3.0, 2.0),
+    )
+
+
+class TestSpeedups:
+    def test_speedup_is_relative_to_first(self, result):
+        assert result.uniform_speedup == (1.0, 2.0, 4.0)
+        assert result.data_driven_speedup == (1.0, 4.0 / 3.0, 2.0)
+
+    def test_zero_cost_gives_infinite_speedup(self):
+        result = UniformVsDataDrivenResult(
+            dataset="demo",
+            figure="Fig. X",
+            buffer_sizes=(10, 500),
+            uniform=(1.0, 0.0),
+            data_driven=(2.0, 1.0),
+        )
+        assert result.uniform_speedup == (1.0, math.inf)
+
+    def test_to_text_mentions_figure_and_dataset(self, result):
+        text = result.to_text()
+        assert "Fig. X" in text and "demo" in text
+        assert "speedup" in text
+
+
+class TestRunComparison:
+    def test_small_scale_run(self):
+        result = run_comparison("tiger", "Fig. 7", buffer_sizes=(10, 100))
+        assert result.buffer_sizes == (10, 100)
+        assert len(result.uniform) == 2
+        assert all(v >= 0 for v in result.uniform)
+        # Data-driven queries cost more on the clustered tiger data.
+        assert result.data_driven[0] > result.uniform[0]

@@ -1,0 +1,120 @@
+"""Property-based tests for :class:`repro.geometry.Rect`."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.geometry import Rect
+
+coords = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def rects(draw, dim: int | None = None) -> Rect:
+    d = dim if dim is not None else draw(st.integers(min_value=1, max_value=4))
+    lo = [draw(coords) for _ in range(d)]
+    hi = [draw(st.floats(min_value=v, max_value=11.0)) for v in lo]
+    return Rect(tuple(lo), tuple(hi))
+
+
+@st.composite
+def rect_pairs(draw) -> tuple[Rect, Rect]:
+    d = draw(st.integers(min_value=1, max_value=4))
+    return draw(rects(dim=d)), draw(rects(dim=d))
+
+
+@given(rect_pairs())
+def test_intersects_is_symmetric(pair):
+    a, b = pair
+    assert a.intersects(b) == b.intersects(a)
+
+
+@given(rect_pairs())
+def test_union_contains_both(pair):
+    a, b = pair
+    u = a.union(b)
+    assert u.contains_rect(a)
+    assert u.contains_rect(b)
+
+
+@given(rect_pairs())
+def test_union_is_commutative(pair):
+    a, b = pair
+    assert a.union(b) == b.union(a)
+
+
+@given(rect_pairs())
+def test_union_area_at_least_max(pair):
+    a, b = pair
+    assert a.union(b).area >= max(a.area, b.area) - 1e-12
+
+
+@given(rect_pairs())
+def test_intersection_inside_both(pair):
+    a, b = pair
+    inter = a.intersection(b)
+    if inter is None:
+        assert not a.intersects(b)
+    else:
+        assert a.intersects(b)
+        assert a.contains_rect(inter)
+        assert b.contains_rect(inter)
+
+
+@given(rect_pairs())
+def test_intersection_area_at_most_min(pair):
+    a, b = pair
+    inter = a.intersection(b)
+    if inter is not None:
+        assert inter.area <= min(a.area, b.area) + 1e-12
+
+
+@given(rect_pairs())
+def test_enlargement_non_negative(pair):
+    a, b = pair
+    assert a.enlargement(b) >= -1e-12
+
+
+@given(rects())
+def test_union_with_self_is_identity(r):
+    assert r.union(r) == r
+    assert r.intersection(r) == r
+
+
+@given(rects())
+def test_center_is_inside(r):
+    assert r.contains_point(r.center)
+
+
+@given(rects())
+def test_area_is_product_of_extents(r):
+    assert r.area == math.prod(r.extents)
+
+
+@given(rects(), st.lists(st.floats(min_value=0, max_value=5), min_size=4, max_size=4))
+def test_expanded_centered_grows_extents(r, amounts):
+    amounts = tuple(amounts[: r.dim])
+    if len(amounts) < r.dim:
+        amounts = amounts + (0.0,) * (r.dim - len(amounts))
+    e = r.expanded_centered(amounts)
+    for before, after, q in zip(r.extents, e.extents, amounts):
+        assert after >= before
+        assert abs(after - (before + q)) < 1e-9
+
+
+@given(rect_pairs())
+def test_contains_implies_intersects(pair):
+    a, b = pair
+    if a.contains_rect(b):
+        assert a.intersects(b)
+
+
+@given(rect_pairs())
+def test_containment_is_area_monotone(pair):
+    a, b = pair
+    if a.contains_rect(b):
+        assert a.area >= b.area - 1e-12

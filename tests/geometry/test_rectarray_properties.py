@@ -1,0 +1,83 @@
+"""Property-based tests: RectArray bulk ops agree with scalar Rect ops."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry import Rect, RectArray, unit_rect
+
+unit_floats = st.floats(min_value=0.0, max_value=1.0, width=64)
+
+
+@st.composite
+def rect_arrays(draw, max_n: int = 12, dim: int = 2) -> RectArray:
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    lo = draw(
+        arrays(np.float64, (n, dim), elements=unit_floats)
+    )
+    span = draw(
+        arrays(np.float64, (n, dim), elements=unit_floats)
+    )
+    return RectArray(lo, lo + span)
+
+
+@given(rect_arrays())
+def test_areas_match_scalar(arr):
+    for i, rect in enumerate(arr):
+        assert abs(arr.areas()[i] - rect.area) < 1e-12
+
+
+@given(rect_arrays())
+def test_margins_match_scalar(arr):
+    for i, rect in enumerate(arr):
+        assert abs(arr.margins()[i] - rect.margin) < 1e-12
+
+
+@given(rect_arrays())
+def test_mbr_contains_all(arr):
+    mbr = arr.mbr()
+    for rect in arr:
+        assert mbr.contains_rect(rect)
+
+
+@given(rect_arrays(), st.tuples(unit_floats, unit_floats))
+def test_extended_matches_scalar(arr, amounts):
+    ext = arr.extended(amounts)
+    for i, rect in enumerate(arr):
+        assert ext.rect(i) == rect.extended(amounts)
+
+
+@given(rect_arrays(), st.tuples(unit_floats, unit_floats))
+def test_clipped_areas_match_scalar(arr, corner):
+    window = Rect((0.0, 0.0), (max(corner[0], 1e-9), max(corner[1], 1e-9)))
+    areas = arr.clipped_areas(window)
+    for i, rect in enumerate(arr):
+        inter = rect.intersection(window)
+        expected = inter.area if inter is not None else 0.0
+        assert abs(areas[i] - expected) < 1e-12
+
+
+@given(rect_arrays())
+def test_normalized_lands_in_unit_cube(arr):
+    norm = arr.normalized()
+    unit = unit_rect(arr.dim)
+    for rect in norm:
+        assert unit.contains_rect(rect)
+
+
+@settings(max_examples=50)
+@given(rect_arrays(), arrays(np.float64, (8, 2), elements=unit_floats))
+def test_contains_points_matches_scalar(arr, pts):
+    m = arr.contains_points(pts)
+    for qi in range(pts.shape[0]):
+        for ri, rect in enumerate(arr):
+            assert m[qi, ri] == rect.contains_point(tuple(pts[qi]))
+
+
+@settings(max_examples=50)
+@given(rect_arrays(), arrays(np.float64, (8, 2), elements=unit_floats))
+def test_count_points_is_column_sum(arr, pts):
+    counts = arr.count_points_inside(pts)
+    assert np.array_equal(counts, arr.contains_points(pts).sum(axis=0))

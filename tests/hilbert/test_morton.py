@@ -1,0 +1,100 @@
+"""Tests for the Z-order (Morton) curve and its packing ordering."""
+
+import numpy as np
+import pytest
+
+from repro.hilbert import hilbert_sort_key, morton_index, morton_sort_key
+from repro.packing import zorder_order
+from repro.geometry import RectArray
+
+
+class TestMortonIndex:
+    def test_known_2d_values(self):
+        # Interleave x into odd bits, y into even: (x,y)=(1,0) -> 0b10.
+        cells = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.uint64)
+        d = morton_index(cells, order=1)
+        assert d.tolist() == [0, 1, 2, 3]
+
+    def test_bijective(self):
+        side = 8
+        xs, ys = np.meshgrid(np.arange(side), np.arange(side))
+        cells = np.column_stack([xs.ravel(), ys.ravel()])
+        d = morton_index(cells, order=3)
+        assert sorted(d.tolist()) == list(range(side * side))
+
+    def test_bijective_3d(self):
+        side = 4
+        grids = np.meshgrid(*[np.arange(side)] * 3)
+        cells = np.column_stack([g.ravel() for g in grids])
+        d = morton_index(cells, order=2)
+        assert sorted(d.tolist()) == list(range(side**3))
+
+    def test_has_jumps_unlike_hilbert(self):
+        """Z-order is not a Hamiltonian path: consecutive indices can
+        be far apart (that is why Hilbert packs better)."""
+        side = 16
+        xs, ys = np.meshgrid(np.arange(side), np.arange(side))
+        cells = np.column_stack([xs.ravel(), ys.ravel()])
+        d = morton_index(cells, order=4)
+        ranked = cells[np.argsort(d)].astype(int)
+        steps = np.abs(np.diff(ranked, axis=0)).sum(axis=1)
+        assert steps.max() > 1  # jumps exist
+        assert steps.min() == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            morton_index(np.zeros((1,), dtype=np.uint64), order=4)
+        with pytest.raises(ValueError):
+            morton_index(np.zeros((1, 5), dtype=np.uint64), order=13)
+        with pytest.raises(ValueError):
+            morton_index(np.array([[4, 0]], dtype=np.uint64), order=2)
+
+
+class TestMortonSortKey:
+    def test_shape_and_determinism(self):
+        pts = np.random.default_rng(0).random((100, 2))
+        a = morton_sort_key(pts)
+        b = morton_sort_key(pts)
+        assert a.shape == (100,)
+        assert np.array_equal(a, b)
+
+    def test_hilbert_tour_is_shorter(self):
+        """The locality claim behind Hilbert packing: sorting points by
+        Hilbert key yields a shorter tour than sorting by Z-order."""
+        pts = np.random.default_rng(3).random((3000, 2))
+
+        def tour_length(keys):
+            tour = pts[np.argsort(keys)]
+            return np.hypot(*(tour[1:] - tour[:-1]).T).sum()
+
+        assert tour_length(hilbert_sort_key(pts)) < tour_length(
+            morton_sort_key(pts)
+        )
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            morton_sort_key(np.zeros(5))
+
+
+class TestZOrderPacking:
+    def test_is_permutation(self, rng):
+        from tests.conftest import random_rects
+
+        arr = random_rects(rng, 200)
+        perm = zorder_order(arr, 10)
+        assert sorted(perm.tolist()) == list(range(200))
+
+    def test_hilbert_packs_better(self, rng):
+        """Under the paper's own metric (Eq. 2 / total node area),
+        Hilbert packing beats Z-order packing — the reason Kamel &
+        Faloutsos proposed it."""
+        from repro.model import expected_node_accesses
+        from repro.packing import pack_description
+        from repro.queries import UniformPointWorkload
+
+        pts = rng.random((20_000, 2))
+        data = RectArray.from_points(pts)
+        w = UniformPointWorkload()
+        hs = expected_node_accesses(pack_description(data, 25, "hs"), w)
+        zo = expected_node_accesses(pack_description(data, 25, "zorder"), w)
+        assert hs < zo

@@ -1,0 +1,139 @@
+"""Integration: full pipelines through the public API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    DataDrivenWorkload,
+    Rect,
+    RectArray,
+    TreeDescription,
+    UniformPointWorkload,
+    buffer_model,
+    check_tree,
+    load_description,
+    load_tree,
+    simulate,
+    synthetic_region,
+    sweep_pinning,
+)
+
+
+def test_public_api_surface():
+    """Everything advertised in __all__ must resolve."""
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_quickstart_pipeline():
+    data = synthetic_region(5_000, rng=42)
+    tree = load_tree("hs", data, capacity=50)
+    check_tree(tree)
+
+    query = Rect((0.4, 0.4), (0.45, 0.45))
+    result = tree.query(query)
+    # Cross-check against the raw data.
+    expected = int(data.intersects_rect(query).sum())
+    assert len(result.items) == expected
+
+    desc = TreeDescription.from_tree(tree)
+    workload = UniformPointWorkload()
+    predicted = buffer_model(desc, workload, buffer_size=20)
+    measured = simulate(desc, workload, 20, n_batches=5, batch_size=2000)
+    assert predicted.disk_accesses == pytest.approx(
+        measured.disk_accesses.mean, rel=0.1
+    )
+
+
+def test_dynamic_tree_can_be_evaluated_like_packed_ones():
+    """The paper's point: the model evaluates *any* update operation.
+    Build a tree dynamically, mutate it, and run the model on the
+    result."""
+    data = synthetic_region(2_000, rng=7)
+    tree = load_tree("tat", data, capacity=25)
+    # Delete a third of the data, then insert fresh rectangles.
+    rects = list(data)
+    for i in range(0, 2000, 3):
+        assert tree.delete(rects[i], i)
+    extra = synthetic_region(500, rng=8)
+    for j, r in enumerate(extra):
+        tree.insert(r, 2000 + j)
+    check_tree(tree)
+
+    desc = TreeDescription.from_tree(tree)
+    result = buffer_model(desc, UniformPointWorkload(), 30)
+    assert result.disk_accesses > 0
+    assert result.disk_accesses <= result.node_accesses
+
+
+def test_update_operations_degrade_packed_quality():
+    """Deleting and reinserting through the dynamic path makes a packed
+    tree worse — measurable through the model, as the paper intends."""
+    data = synthetic_region(4_000, rng=11)
+    fresh = load_description("hs", data, 25)
+    fresh_cost = buffer_model(fresh, UniformPointWorkload(), 30).disk_accesses
+
+    tree = load_tree("hs", data, capacity=25)
+    rects = list(data)
+    rng = np.random.default_rng(12)
+    victims = rng.choice(4000, size=1500, replace=False)
+    for i in victims:
+        assert tree.delete(rects[int(i)], int(i))
+    for i in victims:
+        tree.insert(rects[int(i)], int(i))
+    check_tree(tree)
+    churned = TreeDescription.from_tree(tree)
+    churned_cost = buffer_model(
+        churned, UniformPointWorkload(), 30
+    ).disk_accesses
+    assert churned_cost > fresh_cost
+
+
+def test_pinning_sweep_pipeline():
+    data = synthetic_region(6_000, rng=3)
+    desc = load_description("hs", data, 10)
+    sweep = sweep_pinning(desc, UniformPointWorkload(), buffer_size=60)
+    assert len(sweep.results) >= 2
+    assert sweep.best.disk_accesses <= sweep.results[0].disk_accesses
+
+
+def test_data_driven_end_to_end():
+    data = synthetic_region(3_000, rng=5)
+    desc = load_description("str", data, 25)
+    workload = DataDrivenWorkload.from_rects(data, extents=(0.02, 0.02))
+    predicted = buffer_model(desc, workload, 40)
+    measured = simulate(desc, workload, 40, n_batches=5, batch_size=2000)
+    assert predicted.disk_accesses == pytest.approx(
+        measured.disk_accesses.mean, rel=0.15
+    )
+
+
+def test_three_dimensional_pipeline():
+    """The model generalises to d > 2 (paper: 'straightforward')."""
+    rng = np.random.default_rng(21)
+    lo = rng.random((3_000, 3)) * 0.95
+    data = RectArray(lo, lo + rng.random((3_000, 3)) * 0.05)
+    desc = load_description("hs", data, 25)
+    workload = UniformPointWorkload(dim=3)
+    predicted = buffer_model(desc, workload, 30)
+    measured = simulate(desc, workload, 30, n_batches=5, batch_size=2000)
+    assert predicted.disk_accesses == pytest.approx(
+        measured.disk_accesses.mean, rel=0.12
+    )
+
+
+def test_io_roundtrip_preserves_model_results(tmp_path):
+    from repro.datasets import load_rects, save_rects
+
+    data = synthetic_region(1_000, rng=17)
+    path = tmp_path / "data.txt"
+    save_rects(path, data)
+    reloaded = load_rects(path)
+    a = buffer_model(
+        load_description("hs", data, 10), UniformPointWorkload(), 20
+    )
+    b = buffer_model(
+        load_description("hs", reloaded, 10), UniformPointWorkload(), 20
+    )
+    assert a.disk_accesses == b.disk_accesses

@@ -1,0 +1,64 @@
+"""Integration: the example scripts must run and tell their stories."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "model:" in out
+    assert "simulation:" in out
+    assert "model error:" in out
+
+
+def test_gis_workload_fast():
+    out = run_example("gis_workload.py", "--fast")
+    assert "ranking by nodes visited" in out
+    assert "ranking by disk accesses" in out
+
+
+def test_cfd_workload_fast():
+    out = run_example("cfd_workload.py", "--fast")
+    assert "buffer needed" in out
+    assert "uniform" in out and "data-driven" in out
+
+
+def test_buffer_sizing_fast():
+    out = run_example("buffer_sizing.py", "--fast")
+    assert "knee (point queries)" in out
+    assert "ED point" in out
+
+
+def test_pinning_advisor_fast():
+    out = run_example("pinning_advisor.py", "--fast")
+    assert "advice:" in out
+    assert "pinnable" in out
+
+
+def test_update_heavy_workload_fast():
+    out = run_example("update_heavy_workload.py", "--fast")
+    assert "always-dynamic R*" in out
+    assert "nightly repack" in out
+
+
+def test_all_examples_have_docstrings_and_main():
+    for script in EXAMPLES.glob("*.py"):
+        text = script.read_text()
+        assert text.startswith('"""'), script
+        assert '__name__ == "__main__"' in text, script

@@ -1,0 +1,110 @@
+"""Integration: the paper's headline validation, at test scale.
+
+The buffer model must track the LRU simulation for every combination
+of loader, workload, and buffer size — this is Table 1's claim, run
+here on smaller trees so it stays fast enough for the unit suite (the
+full-scale version lives in benchmarks/test_table1_validation.py).
+"""
+
+import pytest
+
+from repro.model import buffer_model
+from repro.packing import load_description
+from repro.queries import (
+    DataDrivenWorkload,
+    UniformPointWorkload,
+    UniformRegionWorkload,
+)
+from repro.simulation import simulate
+from repro.datasets import synthetic_region, tiger_like
+
+
+@pytest.fixture(scope="module")
+def region_data():
+    return synthetic_region(20_000, rng=101)
+
+
+@pytest.fixture(scope="module")
+def tiger_data():
+    return tiger_like(15_000, rng=101)
+
+
+@pytest.mark.parametrize("loader", ["nx", "hs", "str"])
+@pytest.mark.parametrize("buffer_size", [20, 80])
+def test_point_queries_agree(region_data, loader, buffer_size):
+    desc = load_description(loader, region_data, 50)
+    workload = UniformPointWorkload()
+    predicted = buffer_model(desc, workload, buffer_size).disk_accesses
+    measured = simulate(
+        desc, workload, buffer_size, n_batches=10, batch_size=4000, rng=5
+    ).disk_accesses
+    assert predicted == pytest.approx(measured.mean, rel=0.06)
+
+
+def test_region_queries_agree(region_data):
+    desc = load_description("hs", region_data, 50)
+    workload = UniformRegionWorkload((0.05, 0.05))
+    predicted = buffer_model(desc, workload, 60).disk_accesses
+    measured = simulate(
+        desc, workload, 60, n_batches=10, batch_size=4000, rng=6
+    ).disk_accesses
+    assert predicted == pytest.approx(measured.mean, rel=0.08)
+
+
+def test_data_driven_queries_agree(tiger_data):
+    desc = load_description("hs", tiger_data, 50)
+    workload = DataDrivenWorkload.from_rects(tiger_data)
+    predicted = buffer_model(desc, workload, 60).disk_accesses
+    measured = simulate(
+        desc, workload, 60, n_batches=10, batch_size=4000, rng=7
+    ).disk_accesses
+    assert predicted == pytest.approx(measured.mean, rel=0.08)
+
+
+def test_pinned_model_agrees_with_pinned_simulation(region_data):
+    desc = load_description("hs", region_data, 25)
+    workload = UniformPointWorkload()
+    pinned_pages = desc.pages_in_top_levels(2)
+    buffer_size = max(40, 2 * pinned_pages)
+    predicted = buffer_model(
+        desc, workload, buffer_size, pinned_levels=2
+    ).disk_accesses
+    measured = simulate(
+        desc, workload, buffer_size, pinned_levels=2,
+        n_batches=10, batch_size=4000, rng=8,
+    ).disk_accesses
+    assert predicted == pytest.approx(measured.mean, rel=0.08)
+
+
+def test_node_access_expectation_is_exact(region_data):
+    """Unlike ED, the bufferless expectation has no approximation: the
+    simulated mean must converge to it within CI noise."""
+    from repro.model import expected_node_accesses
+
+    desc = load_description("hs", region_data, 50)
+    workload = UniformPointWorkload()
+    expected = expected_node_accesses(desc, workload)
+    measured = simulate(
+        desc, workload, 10, n_batches=20, batch_size=4000, rng=9
+    ).node_accesses
+    assert abs(measured.mean - expected) < 4 * max(measured.half_width, 1e-3)
+
+
+def test_model_tracks_simulation_across_buffer_sweep(region_data):
+    """The whole curve, not just single points: model and simulation
+    must rank buffer sizes identically and stay within a few percent."""
+    desc = load_description("nx", region_data, 50)
+    workload = UniformPointWorkload()
+    model_curve = []
+    sim_curve = []
+    for b in (10, 40, 160):
+        model_curve.append(buffer_model(desc, workload, b).disk_accesses)
+        sim_curve.append(
+            simulate(
+                desc, workload, b, n_batches=8, batch_size=3000, rng=10
+            ).disk_accesses.mean
+        )
+    assert model_curve == sorted(model_curve, reverse=True)
+    assert sim_curve == sorted(sim_curve, reverse=True)
+    for m, s in zip(model_curve, sim_curve):
+        assert m == pytest.approx(s, rel=0.10)

@@ -1,0 +1,144 @@
+"""Tests for the access-probability formulas (§3.1–§3.2).
+
+The clipped region formula is checked against a Monte Carlo estimate:
+sample query corners uniformly in U' and count how often the query
+intersects the rectangle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import GeometryError, Rect, RectArray
+from repro.model import (
+    data_driven_probabilities,
+    query_corner_domain,
+    raw_region_probabilities,
+    uniform_point_probabilities,
+    uniform_region_probabilities,
+)
+from tests.conftest import random_rects
+
+
+class TestCornerDomain:
+    def test_u_prime(self):
+        domain = query_corner_domain((0.25, 0.1), 2)
+        assert domain == Rect((0.25, 0.1), (1.0, 1.0))
+
+    def test_point_query_domain_is_unit_square(self):
+        assert query_corner_domain((0.0, 0.0), 2) == Rect((0, 0), (1, 1))
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            query_corner_domain((0.5,), 2)
+        with pytest.raises(GeometryError):
+            query_corner_domain((1.0, 0.0), 2)
+        with pytest.raises(GeometryError):
+            query_corner_domain((-0.1, 0.0), 2)
+
+
+class TestUniformPoint:
+    def test_equals_clipped_area(self, rng):
+        arr = random_rects(rng, 50)
+        assert uniform_point_probabilities(arr) == pytest.approx(arr.areas())
+
+    def test_out_of_square_parts_ignored(self):
+        arr = RectArray(np.array([[-0.5, 0.0]]), np.array([[0.5, 1.0]]))
+        assert uniform_point_probabilities(arr)[0] == pytest.approx(0.5)
+
+
+class TestUniformRegionFormula:
+    def test_closed_form_matches_definition(self):
+        """The C·D formula of §3.1 equals area(R' ∩ U')/area(U')."""
+        r = Rect((0.3, 0.2), (0.6, 0.9))
+        qx, qy = 0.25, 0.15
+        a, b = r.lo
+        c, d = r.hi
+        C = min(1.0, c + qx) - max(a, qx)
+        D = min(1.0, d + qy) - max(b, qy)
+        expected = (C * D) / ((1 - qx) * (1 - qy))
+        got = uniform_region_probabilities(
+            RectArray.from_rects([r]), (qx, qy)
+        )[0]
+        assert got == pytest.approx(expected)
+
+    @pytest.mark.parametrize("extents", [(0.0, 0.0), (0.1, 0.1), (0.4, 0.2), (0.9, 0.9)])
+    def test_matches_monte_carlo(self, rng, extents):
+        arr = random_rects(rng, 15)
+        probs = uniform_region_probabilities(arr, extents)
+        n = 40_000
+        domain = query_corner_domain(extents, 2)
+        lo = np.asarray(domain.lo)
+        hi = np.asarray(domain.hi)
+        corners = lo + rng.random((n, 2)) * (hi - lo)
+        for i, rect in enumerate(arr):
+            hits = 0
+            for corner in corners[:4000]:
+                q = Rect(
+                    (corner[0] - extents[0], corner[1] - extents[1]),
+                    tuple(corner),
+                )
+                hits += q.intersects(rect)
+            estimate = hits / 4000
+            assert probs[i] == pytest.approx(estimate, abs=0.03)
+
+    def test_probabilities_never_exceed_one(self, rng):
+        arr = random_rects(rng, 200, max_side=0.9)
+        for extents in ((0.5, 0.5), (0.9, 0.9)):
+            probs = uniform_region_probabilities(arr, extents)
+            assert (probs <= 1.0 + 1e-12).all()
+            assert (probs >= 0.0).all()
+
+    def test_reduces_to_point_probabilities(self, rng):
+        arr = random_rects(rng, 50)
+        region = uniform_region_probabilities(arr, (0.0, 0.0))
+        assert region == pytest.approx(uniform_point_probabilities(arr))
+
+
+class TestRawFormula:
+    def test_is_extended_area(self, rng):
+        arr = random_rects(rng, 30)
+        raw = raw_region_probabilities(arr, (0.1, 0.2))
+        ext = arr.extents()
+        assert raw == pytest.approx((ext[:, 0] + 0.1) * (ext[:, 1] + 0.2))
+
+    def test_can_exceed_one_near_boundary(self):
+        """Fig. 3b: the raw formula gives 1.21 for a 0.2-wide rect and
+        a 0.9 query — the anomaly the clipped formula fixes."""
+        arr = RectArray.from_rects([Rect((0.0, 0.0), (0.2, 0.2))])
+        raw = raw_region_probabilities(arr, (0.9, 0.9))[0]
+        assert raw == pytest.approx(1.21)
+        clipped = uniform_region_probabilities(arr, (0.9, 0.9))[0]
+        assert clipped <= 1.0
+
+    def test_raw_upper_bounds_clipped_for_interior(self, rng):
+        arr = random_rects(rng, 100)
+        raw = raw_region_probabilities(arr, (0.1, 0.1))
+        clipped = uniform_region_probabilities(arr, (0.1, 0.1))
+        # Clipping removes boundary mass but rescales by area(U')<1, so
+        # only the *aggregate* inequality versus raw/(area U') holds in
+        # general; check each node against its own geometric bound.
+        assert (clipped <= raw / (0.9 * 0.9) + 1e-12).all()
+
+
+class TestDataDriven:
+    def test_matches_monte_carlo(self, rng):
+        data = random_rects(rng, 400, max_side=0.1)
+        centers = data.centers()
+        nodes = random_rects(rng, 10, max_side=0.4)
+        extents = (0.15, 0.1)
+        probs = data_driven_probabilities(nodes, centers, extents)
+        # Monte Carlo: sample data centers, build centred queries.
+        picks = rng.integers(len(centers), size=5000)
+        for i, node in enumerate(nodes):
+            hits = 0
+            for k in picks[:2500]:
+                q = Rect.from_center(centers[k], extents)
+                hits += q.intersects(node)
+            assert probs[i] == pytest.approx(hits / 2500, abs=0.04)
+
+    def test_validation(self, rng):
+        nodes = random_rects(rng, 5)
+        with pytest.raises(GeometryError):
+            data_driven_probabilities(nodes, np.zeros((3, 3)), (0.1, 0.1))
+        with pytest.raises(GeometryError):
+            data_driven_probabilities(nodes, np.zeros((0, 2)), (0.1, 0.1))

@@ -1,0 +1,85 @@
+"""Tests for the bufferless (node-access) model and Eq. 2."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.model import (
+    expected_node_accesses,
+    kamel_faloutsos_decomposition,
+    kamel_faloutsos_estimate,
+)
+from repro.packing import pack_description
+from repro.queries import UniformPointWorkload, UniformRegionWorkload
+from tests.conftest import random_rects
+from repro.rtree import TreeDescription
+
+
+@pytest.fixture
+def desc(rng) -> TreeDescription:
+    return pack_description(random_rects(rng, 400), 10, "hs")
+
+
+class TestExpectedNodeAccesses:
+    def test_point_queries_equal_total_area(self, desc):
+        got = expected_node_accesses(desc, UniformPointWorkload())
+        assert got == pytest.approx(desc.total_area())
+
+    def test_region_queries_cost_more(self, desc):
+        point = expected_node_accesses(desc, UniformPointWorkload())
+        region = expected_node_accesses(desc, UniformRegionWorkload((0.1, 0.1)))
+        assert region > point
+
+    def test_at_least_root_probability(self, desc):
+        # The root MBR covers the data, so any data-hitting query
+        # touches it; EPT >= root access probability.
+        w = UniformPointWorkload()
+        root_prob = w.access_probabilities(desc.levels[0])[0]
+        assert expected_node_accesses(desc, w) >= root_prob
+
+
+class TestEq2:
+    def test_closed_form_matches_sum(self, desc):
+        q = (0.12, 0.05)
+        estimate = kamel_faloutsos_estimate(desc, q)
+        decomp = kamel_faloutsos_decomposition(desc, q)
+        assert estimate == pytest.approx(decomp.total)
+
+    def test_two_d_expansion(self, desc):
+        """Eq. 2: A + qx·Ly + qy·Lx + M·qx·qy."""
+        qx, qy = 0.2, 0.07
+        d = kamel_faloutsos_decomposition(desc, (qx, qy))
+        lx, ly = d.sum_extents
+        expected = d.sum_area + qx * ly + qy * lx + d.total_nodes * qx * qy
+        assert d.total == pytest.approx(expected)
+
+    def test_point_query_case_is_total_area(self, desc):
+        d = kamel_faloutsos_decomposition(desc, (0.0, 0.0))
+        assert d.total == pytest.approx(desc.total_area())
+        assert kamel_faloutsos_estimate(desc, (0.0, 0.0)) == pytest.approx(
+            desc.total_area()
+        )
+
+    def test_three_dimensional_total(self):
+        desc = TreeDescription.from_level_rects(
+            [[Rect((0, 0, 0), (0.5, 0.5, 0.5))]]
+        )
+        q = (0.1, 0.2, 0.3)
+        total = kamel_faloutsos_decomposition(desc, q).total
+        assert total == pytest.approx(0.6 * 0.7 * 0.8)
+
+    def test_extent_length_validated(self, desc):
+        with pytest.raises(ValueError):
+            kamel_faloutsos_decomposition(desc, (0.1,))
+
+    def test_minimising_area_and_perimeter_lowers_cost(self, rng):
+        """The design rule Eq. 2 encodes: for the same data, the packing
+        with lower total area+perimeter costs less at every query size."""
+        data = random_rects(rng, 1000, max_side=0.02)
+        hs = pack_description(data, 10, "hs")
+        nx = pack_description(data, 10, "nx")
+        assert hs.total_area() < nx.total_area()
+        for q in (0.0, 0.05, 0.2):
+            assert kamel_faloutsos_estimate(hs, (q, q)) < kamel_faloutsos_estimate(
+                nx, (q, q)
+            )

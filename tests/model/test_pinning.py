@@ -1,0 +1,78 @@
+"""Tests for the pinning analysis helpers."""
+
+import pytest
+
+from repro.model import (
+    buffer_model,
+    max_pinnable_levels,
+    pinning_improvement,
+    sweep_pinning,
+)
+from repro.packing import pack_description
+from repro.queries import UniformPointWorkload
+from tests.conftest import random_rects
+
+
+@pytest.fixture
+def desc(rng):
+    # ~4 levels at capacity 5: 600 -> 120 -> 24 -> 5 -> 1.
+    return pack_description(random_rects(rng, 600, max_side=0.03), 5, "hs")
+
+
+class TestMaxPinnable:
+    def test_counts_cumulative_pages(self, desc):
+        assert desc.node_counts == (1, 5, 24, 120)
+        assert max_pinnable_levels(desc, 1) == 1
+        assert max_pinnable_levels(desc, 5) == 1
+        assert max_pinnable_levels(desc, 6) == 2
+        assert max_pinnable_levels(desc, 30) == 3
+        assert max_pinnable_levels(desc, 150) == 4
+
+    def test_validates_buffer(self, desc):
+        with pytest.raises(ValueError):
+            max_pinnable_levels(desc, 0)
+
+
+class TestImprovement:
+    def test_zero_for_zero_levels(self, desc):
+        w = UniformPointWorkload()
+        assert pinning_improvement(desc, w, 40, 0) == 0.0
+
+    def test_fraction_between_zero_and_one(self, desc):
+        w = UniformPointWorkload()
+        imp = pinning_improvement(desc, w, 35, 3)
+        assert 0.0 <= imp <= 1.0
+
+    def test_matches_direct_computation(self, desc):
+        w = UniformPointWorkload()
+        base = buffer_model(desc, w, 35).disk_accesses
+        pinned = buffer_model(desc, w, 35, pinned_levels=3).disk_accesses
+        assert pinning_improvement(desc, w, 35, 3) == pytest.approx(
+            (base - pinned) / base
+        )
+
+    def test_zero_when_buffer_covers_tree(self, desc):
+        w = UniformPointWorkload()
+        assert pinning_improvement(desc, w, desc.total_nodes, 1) == 0.0
+
+
+class TestSweep:
+    def test_covers_all_feasible_depths(self, desc):
+        w = UniformPointWorkload()
+        sweep = sweep_pinning(desc, w, 30)
+        assert len(sweep.results) == max_pinnable_levels(desc, 30) + 1
+        for k, result in enumerate(sweep.results):
+            assert result.pinned_levels == k
+
+    def test_best_is_minimal_cost(self, desc):
+        w = UniformPointWorkload()
+        sweep = sweep_pinning(desc, w, 30)
+        best = sweep.best
+        for result in sweep.results:
+            assert best.disk_accesses <= result.disk_accesses + 1e-12
+
+    def test_ties_prefer_fewer_pinned_levels(self, desc):
+        w = UniformPointWorkload()
+        # A buffer that covers the whole tree: all depths give 0.
+        sweep = sweep_pinning(desc, w, desc.total_nodes)
+        assert sweep.best_levels == 0

@@ -1,0 +1,119 @@
+"""Tests for the generic bottom-up packer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import GeometryError, Rect, RectArray
+from repro.packing import pack_description, pack_tree, resolve_ordering
+from repro.rtree import TreeDescription, check_tree
+from tests.conftest import random_rects
+
+
+class TestPackDescription:
+    def test_node_counts_follow_ceil_division(self, rng):
+        arr = random_rects(rng, 1234)
+        desc = pack_description(arr, 10, "hs")
+        # 1234 -> 124 -> 13 -> 2 -> 1
+        assert desc.node_counts == (1, 2, 13, 124)
+
+    def test_paper_table2_shape(self, rng):
+        """250,000 points at capacity 25 give 10000/400/16/1 (paper §5.5)."""
+        pts = rng.random((250_000, 2))
+        desc = pack_description(RectArray.from_points(pts), 25, "hs")
+        assert desc.node_counts == (1, 16, 400, 10000)
+        assert desc.pages_in_top_levels(3) == 417  # quoted in the paper
+
+    def test_single_node_tree(self, rng):
+        arr = random_rects(rng, 5)
+        desc = pack_description(arr, 10, "nx")
+        assert desc.node_counts == (1,)
+        assert desc.levels[0].rect(0) == arr.mbr()
+
+    def test_each_level_mbr_nests(self, rng):
+        arr = random_rects(rng, 500)
+        desc = pack_description(arr, 8, "hs")
+        root = desc.levels[0].rect(0)
+        assert root == arr.mbr()
+        for level in desc.levels:
+            for rect in level:
+                assert root.contains_rect(rect)
+
+    def test_empty_data_raises(self):
+        with pytest.raises(GeometryError):
+            pack_description(RectArray.empty(2), 10, "hs")
+
+    def test_capacity_validation(self, rng):
+        with pytest.raises(ValueError):
+            pack_description(random_rects(rng, 10), 1, "hs")
+
+    def test_unknown_ordering(self, rng):
+        with pytest.raises(ValueError):
+            pack_description(random_rects(rng, 10), 4, "peano")
+
+    def test_callable_ordering_accepted(self, rng):
+        arr = random_rects(rng, 50)
+        identity = lambda rects, cap: np.arange(len(rects))
+        desc = pack_description(arr, 10, identity)
+        assert desc.node_counts == (1, 5)
+
+    def test_resolve_ordering_passthrough(self):
+        fn = lambda rects, cap: np.arange(len(rects))
+        assert resolve_ordering(fn) is fn
+
+
+class TestPackTree:
+    def test_tree_matches_description(self, rng):
+        arr = random_rects(rng, 777)
+        for ordering in ("nx", "hs", "str"):
+            tree = pack_tree(arr, 9, ordering)
+            desc_from_tree = TreeDescription.from_tree(tree)
+            desc_direct = pack_description(arr, 9, ordering)
+            assert desc_from_tree.node_counts == desc_direct.node_counts
+            # Within-level order may differ (BFS vs construction order);
+            # the set of node MBRs per level must be identical.
+            for a, b in zip(desc_from_tree.levels, desc_direct.levels):
+                a_sorted = sorted(map(tuple, np.hstack([a.lo, a.hi]).tolist()))
+                b_sorted = sorted(map(tuple, np.hstack([b.lo, b.hi]).tolist()))
+                assert a_sorted == b_sorted
+
+    def test_tree_is_valid(self, rng):
+        arr = random_rects(rng, 300)
+        tree = pack_tree(arr, 7, "hs")
+        check_tree(tree)
+        assert len(tree) == 300
+
+    def test_default_items_are_indices(self, rng):
+        arr = random_rects(rng, 120)
+        tree = pack_tree(arr, 10, "hs")
+        found = sorted(tree.search(Rect((0, 0), (1, 1))))
+        assert found == list(range(120))
+
+    def test_custom_items(self, rng):
+        arr = random_rects(rng, 30)
+        items = [f"obj{i}" for i in range(30)]
+        tree = pack_tree(arr, 5, "nx", items=items)
+        assert sorted(tree.search(Rect((0, 0), (1, 1)))) == sorted(items)
+
+    def test_items_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            pack_tree(random_rects(rng, 10), 4, "nx", items=["a"])
+
+    def test_queries_match_brute_force(self, rng):
+        from tests.conftest import brute_force_intersecting
+
+        arr = random_rects(rng, 400)
+        rects = list(arr)
+        tree = pack_tree(arr, 12, "hs")
+        for _ in range(30):
+            lo = rng.random(2) * 0.7
+            q = Rect(tuple(lo), tuple(lo + 0.2))
+            assert sorted(tree.search(q)) == brute_force_intersecting(rects, q)
+
+    def test_height_is_logarithmic(self, rng):
+        arr = random_rects(rng, 1000)
+        tree = pack_tree(arr, 10, "hs")
+        # 1000 rects -> 100 leaves -> 10 -> 1: three levels of nodes.
+        assert tree.height == math.ceil(math.log(1000, 10))
+        assert tree.height == 3

@@ -1,0 +1,100 @@
+"""Tests for the loader facade and the TAT loader."""
+
+import pytest
+
+from repro.geometry import GeometryError, Rect
+from repro.packing import (
+    LOADERS,
+    hs_description,
+    hs_tree,
+    load_description,
+    load_tree,
+    nx_description,
+    str_description,
+    tat_description,
+    tat_tree,
+)
+from repro.rtree import TreeDescription, check_tree
+from tests.conftest import random_rects
+
+
+class TestFacade:
+    @pytest.mark.parametrize("name", LOADERS)
+    def test_load_tree_all_loaders(self, name, rng):
+        arr = random_rects(rng, 150)
+        tree = load_tree(name, arr, 10)
+        check_tree(tree)
+        assert len(tree) == 150
+        assert sorted(tree.search(Rect((0, 0), (1, 1)))) == list(range(150))
+
+    @pytest.mark.parametrize("name", LOADERS)
+    def test_load_description_all_loaders(self, name, rng):
+        arr = random_rects(rng, 150)
+        desc = load_description(name, arr, 10)
+        assert isinstance(desc, TreeDescription)
+        assert desc.node_counts[0] == 1
+        assert desc.levels[0].rect(0) == arr.mbr()
+
+    def test_unknown_loader(self, rng):
+        arr = random_rects(rng, 10)
+        with pytest.raises(ValueError):
+            load_tree("rplus", arr, 10)
+        with pytest.raises(ValueError):
+            load_description("rplus", arr, 10)
+
+    def test_packed_descriptions_differ_between_loaders(self, rng):
+        arr = random_rects(rng, 400)
+        descs = {
+            name: load_description(name, arr, 10) for name in ("nx", "hs", "str")
+        }
+        areas = {name: d.total_area() for name, d in descs.items()}
+        # All loaders pack the same rectangles, so total node counts
+        # match, but their MBR geometry must differ.
+        assert len(set(areas.values())) == 3
+
+    def test_named_helpers_agree_with_facade(self, rng):
+        arr = random_rects(rng, 200)
+        assert nx_description(arr, 10).levels == load_description("nx", arr, 10).levels
+        assert hs_description(arr, 10).levels == load_description("hs", arr, 10).levels
+        assert str_description(arr, 10).levels == load_description("str", arr, 10).levels
+
+
+class TestTAT:
+    def test_builds_valid_tree(self, rng):
+        arr = random_rects(rng, 300)
+        tree = tat_tree(arr, 10)
+        check_tree(tree)
+        assert len(tree) == 300
+
+    def test_description_matches_tree(self, rng):
+        arr = random_rects(rng, 200)
+        desc = tat_description(arr, 8)
+        tree = tat_tree(arr, 8)
+        assert desc.node_counts == TreeDescription.from_tree(tree).node_counts
+
+    def test_linear_split_variant(self, rng):
+        arr = random_rects(rng, 200)
+        tree = tat_tree(arr, 8, split="linear")
+        check_tree(tree)
+        assert len(tree) == 200
+
+    def test_accepts_rect_list(self):
+        rects = [Rect((i * 0.1, 0), (i * 0.1 + 0.05, 0.05)) for i in range(9)]
+        tree = tat_tree(rects, 4)
+        assert len(tree) == 9
+
+    def test_empty_raises(self):
+        with pytest.raises(GeometryError):
+            tat_tree([], 4)
+
+    def test_items_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            tat_tree(random_rects(rng, 5), 4, items=["a", "b"])
+
+    def test_tat_worse_or_equal_packing_quality(self, rng):
+        """The paper: TAT 'has worse space utilization' — it uses more
+        nodes than a packed tree of the same capacity."""
+        arr = random_rects(rng, 500, max_side=0.02)
+        tat_nodes = tat_description(arr, 10).total_nodes
+        hs_nodes = hs_description(arr, 10).total_nodes
+        assert tat_nodes > hs_nodes

@@ -1,0 +1,85 @@
+"""Tests for the packing orderings (NX, HS, STR)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import RectArray
+from repro.packing import ORDERINGS, hilbert_order, nearest_x_order, str_order
+from tests.conftest import random_rects
+
+
+@pytest.fixture
+def arr(rng) -> RectArray:
+    return random_rects(rng, 250, max_side=0.05)
+
+
+@pytest.mark.parametrize("name", sorted(ORDERINGS))
+def test_is_a_permutation(name, arr):
+    perm = ORDERINGS[name](arr, 10)
+    assert sorted(perm.tolist()) == list(range(len(arr)))
+
+
+@pytest.mark.parametrize("name", sorted(ORDERINGS))
+def test_deterministic(name, arr):
+    a = ORDERINGS[name](arr, 10)
+    b = ORDERINGS[name](arr, 10)
+    assert np.array_equal(a, b)
+
+
+class TestNearestX:
+    def test_sorts_by_center_x(self, arr):
+        perm = nearest_x_order(arr, 10)
+        xs = arr.centers()[perm, 0]
+        assert np.all(np.diff(xs) >= 0)
+
+    def test_stable_on_ties(self):
+        lo = np.zeros((5, 2))
+        hi = np.ones((5, 2))
+        arr = RectArray(lo, hi)  # identical rects: ties everywhere
+        perm = nearest_x_order(arr, 2)
+        assert perm.tolist() == [0, 1, 2, 3, 4]
+
+
+class TestHilbertOrder:
+    def test_groups_are_spatially_compact(self, arr):
+        """Hilbert groups of 10 should have far smaller MBRs than
+        input-order groups."""
+        perm = hilbert_order(arr, 10)
+        centers = arr.centers()
+
+        def group_area(order):
+            total = 0.0
+            for s in range(0, len(order), 10):
+                block = centers[order[s : s + 10]]
+                span = block.max(axis=0) - block.min(axis=0)
+                total += span.prod()
+            return total
+
+        assert group_area(perm) < 0.25 * group_area(np.arange(len(arr)))
+
+
+class TestSTR:
+    def test_slab_structure(self, rng):
+        # 90 points, capacity 10 -> 9 pages -> 3 vertical slabs of 30.
+        pts = rng.random((90, 2))
+        arr = RectArray.from_points(pts)
+        perm = str_order(arr, 10)
+        xs = pts[perm, 0]
+        ys = pts[perm, 1]
+        # Within each slab of 30, y must be sorted.
+        for s in range(0, 90, 30):
+            assert np.all(np.diff(ys[s : s + 30]) >= 0)
+        # Slab x-ranges must be non-overlapping and increasing.
+        maxes = [xs[s : s + 30].max() for s in range(0, 90, 30)]
+        mins = [xs[s : s + 30].min() for s in range(0, 90, 30)]
+        assert maxes[0] <= mins[1] and maxes[1] <= mins[2]
+
+    def test_capacity_validation(self, arr):
+        with pytest.raises(ValueError):
+            str_order(arr, 0)
+
+    def test_three_dimensional(self, rng):
+        pts = rng.random((100, 3))
+        arr = RectArray.from_points(pts)
+        perm = str_order(arr, 5)
+        assert sorted(perm.tolist()) == list(range(100))

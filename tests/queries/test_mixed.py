@@ -1,0 +1,138 @@
+"""Tests for mixed query workloads."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import GeometryError
+from repro.queries import (
+    DataDrivenWorkload,
+    MixedWorkload,
+    UniformPointWorkload,
+    UniformRegionWorkload,
+)
+from tests.conftest import random_rects
+
+
+@pytest.fixture
+def mix() -> MixedWorkload:
+    return MixedWorkload(
+        [
+            (0.7, UniformPointWorkload()),
+            (0.3, UniformRegionWorkload((0.1, 0.1))),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_weights_normalised(self):
+        mix = MixedWorkload(
+            [(2.0, UniformPointWorkload()), (6.0, UniformPointWorkload())]
+        )
+        assert mix.weights.tolist() == pytest.approx([0.25, 0.75])
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            MixedWorkload([])
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(GeometryError):
+            MixedWorkload([(0.0, UniformPointWorkload())])
+        with pytest.raises(GeometryError):
+            MixedWorkload([(-1.0, UniformPointWorkload())])
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(GeometryError):
+            MixedWorkload(
+                [
+                    (1.0, UniformPointWorkload(dim=2)),
+                    (1.0, UniformPointWorkload(dim=3)),
+                ]
+            )
+
+    def test_is_point_only_when_all_components_are(self, mix):
+        assert not mix.is_point
+        pure = MixedWorkload([(1.0, UniformPointWorkload())])
+        assert pure.is_point
+
+
+class TestAnalytics:
+    def test_probabilities_are_weighted_sum(self, mix, rng):
+        arr = random_rects(rng, 60)
+        point = UniformPointWorkload().access_probabilities(arr)
+        region = UniformRegionWorkload((0.1, 0.1)).access_probabilities(arr)
+        expected = 0.7 * point + 0.3 * region
+        assert mix.access_probabilities(arr) == pytest.approx(expected)
+
+    def test_single_component_mixture_is_transparent(self, rng):
+        arr = random_rects(rng, 40)
+        base = UniformRegionWorkload((0.2, 0.05))
+        mix = MixedWorkload([(1.0, base)])
+        assert mix.access_probabilities(arr) == pytest.approx(
+            base.access_probabilities(arr)
+        )
+
+    def test_single_transform_interface_disabled(self, mix, rng):
+        arr = random_rects(rng, 5)
+        with pytest.raises(NotImplementedError):
+            mix.transformed_rects(arr)
+        with pytest.raises(NotImplementedError):
+            mix.sample_points(5, rng)
+
+    def test_component_transforms(self, mix, rng):
+        arr = random_rects(rng, 10)
+        transforms = mix.component_transforms(arr)
+        assert transforms[0] == arr  # point workload: unchanged
+        assert transforms[1] == arr.extended((0.1, 0.1))
+
+    def test_sample_assignments_follow_weights(self, mix, rng):
+        counts = np.bincount(mix.sample_assignments(20_000, rng), minlength=2)
+        assert counts[0] / 20_000 == pytest.approx(0.7, abs=0.02)
+
+    def test_can_mix_data_driven_components(self, rng):
+        data = random_rects(rng, 200, max_side=0.05)
+        mix = MixedWorkload(
+            [
+                (0.5, UniformPointWorkload()),
+                (0.5, DataDrivenWorkload.from_rects(data)),
+            ]
+        )
+        probs = mix.access_probabilities(data)
+        assert (probs >= 0).all() and (probs <= 1).all()
+
+
+class TestSimulation:
+    def test_model_matches_simulation_for_mixture(self, rng):
+        """The end-to-end property: the buffer model with mixture
+        probabilities must track the mixture simulation."""
+        from repro.model import buffer_model
+        from repro.packing import pack_description
+        from repro.simulation import simulate
+
+        data = random_rects(rng, 5000, max_side=0.02)
+        desc = pack_description(data, 25, "hs")
+        mix = MixedWorkload(
+            [
+                (0.8, UniformPointWorkload()),
+                (0.2, UniformRegionWorkload((0.05, 0.05))),
+            ]
+        )
+        predicted = buffer_model(desc, mix, 40).disk_accesses
+        measured = simulate(
+            desc, mix, 40, n_batches=8, batch_size=3000, rng=11
+        ).disk_accesses
+        assert predicted == pytest.approx(measured.mean, rel=0.08)
+
+    def test_mixture_node_accesses_interpolate_components(self, rng):
+        from repro.model import expected_node_accesses
+        from repro.packing import pack_description
+
+        data = random_rects(rng, 3000, max_side=0.02)
+        desc = pack_description(data, 25, "hs")
+        point = UniformPointWorkload()
+        region = UniformRegionWorkload((0.1, 0.1))
+        mix = MixedWorkload([(0.5, point), (0.5, region)])
+        ep = expected_node_accesses(desc, point)
+        er = expected_node_accesses(desc, region)
+        em = expected_node_accesses(desc, mix)
+        assert em == pytest.approx((ep + er) / 2)
+        assert ep < em < er

@@ -1,0 +1,148 @@
+"""Tests for the query workloads (analytic + simulation views)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import GeometryError, Rect, RectArray, unit_rect
+from repro.queries import (
+    DataDrivenWorkload,
+    UniformPointWorkload,
+    UniformRegionWorkload,
+)
+from tests.conftest import random_rects
+
+
+class TestValidation:
+    def test_negative_extent_rejected(self):
+        with pytest.raises(GeometryError):
+            UniformRegionWorkload((-0.1, 0.1))
+
+    def test_extent_of_one_rejected(self):
+        with pytest.raises(GeometryError):
+            UniformRegionWorkload((1.0, 0.5))
+
+    def test_empty_extents_rejected(self):
+        with pytest.raises(GeometryError):
+            UniformRegionWorkload(())
+
+    def test_dim_mismatch_raises(self, rng):
+        arr = random_rects(rng, 10)
+        w = UniformRegionWorkload((0.1, 0.1, 0.1))
+        with pytest.raises(GeometryError):
+            w.access_probabilities(arr)
+
+    def test_data_driven_centers_validated(self):
+        with pytest.raises(GeometryError):
+            DataDrivenWorkload(np.zeros((0, 2)), (0.1, 0.1))
+        with pytest.raises(GeometryError):
+            DataDrivenWorkload(np.zeros((5, 3)), (0.1, 0.1))
+
+
+class TestUniformPoint:
+    def test_is_zero_extent_region(self):
+        w = UniformPointWorkload()
+        assert w.extents == (0.0, 0.0)
+        assert w.is_point
+        assert w.dim == 2
+
+    def test_access_probability_is_area(self, rng):
+        arr = random_rects(rng, 50)
+        probs = UniformPointWorkload().access_probabilities(arr)
+        assert probs == pytest.approx(arr.areas())
+
+    def test_transformed_rects_unchanged(self, rng):
+        arr = random_rects(rng, 20)
+        assert UniformPointWorkload().transformed_rects(arr) == arr
+
+    def test_sample_points_in_unit_square(self, rng):
+        pts = UniformPointWorkload().sample_points(1000, rng)
+        assert pts.shape == (1000, 2)
+        assert (pts >= 0).all() and (pts <= 1).all()
+
+    def test_three_dimensional(self, rng):
+        w = UniformPointWorkload(dim=3)
+        pts = w.sample_points(10, rng)
+        assert pts.shape == (10, 3)
+
+
+class TestUniformRegion:
+    def test_corner_samples_in_u_prime(self, rng):
+        w = UniformRegionWorkload((0.25, 0.1))
+        pts = w.sample_points(2000, rng)
+        assert (pts[:, 0] >= 0.25).all()
+        assert (pts[:, 1] >= 0.1).all()
+        assert (pts <= 1).all()
+
+    def test_probabilities_in_unit_interval(self, rng):
+        arr = random_rects(rng, 100)
+        probs = UniformRegionWorkload((0.3, 0.3)).access_probabilities(arr)
+        assert (probs >= 0).all() and (probs <= 1).all()
+
+    def test_larger_queries_access_more(self, rng):
+        arr = random_rects(rng, 100)
+        small = UniformRegionWorkload((0.05, 0.05)).access_probabilities(arr)
+        large = UniformRegionWorkload((0.3, 0.3)).access_probabilities(arr)
+        assert (large >= small - 1e-12).all()
+        assert large.sum() > small.sum()
+
+    def test_paper_fig3_example(self):
+        """A 0.9x0.9 query on a large rectangle must have probability
+        <= 1 (the clipping fix), not the raw 1.21 of Fig. 3b."""
+        big = RectArray.from_rects([Rect((0.0, 0.0), (0.2, 0.2))])
+        probs = UniformRegionWorkload((0.9, 0.9)).access_probabilities(big)
+        assert probs[0] == pytest.approx(1.0)
+
+    def test_rect_covering_unit_square_has_probability_one(self):
+        arr = RectArray.from_rects([unit_rect(2)])
+        for q in ((0.0, 0.0), (0.2, 0.7)):
+            probs = UniformRegionWorkload(q).access_probabilities(arr)
+            assert probs[0] == pytest.approx(1.0)
+
+    def test_transformed_rects_are_extended(self, rng):
+        arr = random_rects(rng, 10)
+        w = UniformRegionWorkload((0.1, 0.2))
+        assert w.transformed_rects(arr) == arr.extended((0.1, 0.2))
+
+
+class TestDataDriven:
+    def test_from_rects_default_point_queries(self, rng):
+        arr = random_rects(rng, 30)
+        w = DataDrivenWorkload.from_rects(arr)
+        assert w.is_point
+        assert w.centers.shape == (30, 2)
+
+    def test_probability_is_center_fraction(self):
+        centers = np.array([[0.1, 0.1], [0.2, 0.2], [0.8, 0.8], [0.9, 0.9]])
+        node = RectArray.from_rects([Rect((0.0, 0.0), (0.5, 0.5))])
+        w = DataDrivenWorkload(centers, (0.0, 0.0))
+        assert w.access_probabilities(node)[0] == pytest.approx(0.5)
+
+    def test_region_expansion_counts_nearby_centers(self):
+        centers = np.array([[0.55, 0.25], [0.9, 0.9]])
+        node = RectArray.from_rects([Rect((0.0, 0.0), (0.5, 0.5))])
+        # A point query never touches the node from (0.55, 0.25)...
+        assert DataDrivenWorkload(centers, (0.0, 0.0)).access_probabilities(
+            node
+        )[0] == pytest.approx(0.0)
+        # ...but a 0.2-wide query centred there does.
+        assert DataDrivenWorkload(centers, (0.2, 0.0)).access_probabilities(
+            node
+        )[0] == pytest.approx(0.5)
+
+    def test_samples_are_data_centers(self, rng):
+        centers = np.array([[0.1, 0.2], [0.3, 0.4], [0.5, 0.6]])
+        w = DataDrivenWorkload(centers, (0.0, 0.0))
+        pts = w.sample_points(500, rng)
+        assert {tuple(p) for p in pts} <= {tuple(c) for c in centers}
+
+    def test_dense_regions_queried_more(self, rng):
+        # 90 centers in one corner, 10 in the other.
+        dense = rng.random((90, 2)) * 0.3
+        sparse = 0.7 + rng.random((10, 2)) * 0.3
+        w = DataDrivenWorkload(np.vstack([dense, sparse]), (0.0, 0.0))
+        nodes = RectArray.from_rects(
+            [Rect((0, 0), (0.3, 0.3)), Rect((0.7, 0.7), (1, 1))]
+        )
+        probs = w.access_probabilities(nodes)
+        assert probs[0] == pytest.approx(0.9)
+        assert probs[1] == pytest.approx(0.1)

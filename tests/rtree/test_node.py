@@ -1,0 +1,57 @@
+"""Unit tests for R-tree node/entry structures."""
+
+import pytest
+
+from repro.geometry import GeometryError, Rect
+from repro.rtree import Entry, Node
+
+
+class TestEntry:
+    def test_leaf_entry(self):
+        e = Entry(Rect((0, 0), (1, 1)), item="x")
+        assert e.item == "x"
+        assert e.child is None
+
+    def test_internal_entry(self):
+        child = Node(is_leaf=True)
+        e = Entry(Rect((0, 0), (1, 1)), child=child)
+        assert e.child is child
+        assert e.item is None
+
+    def test_child_and_item_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            Entry(Rect((0, 0), (1, 1)), child=Node(is_leaf=True), item="x")
+
+
+class TestNode:
+    def test_len(self):
+        node = Node(is_leaf=True)
+        assert len(node) == 0
+        node.entries.append(Entry(Rect((0, 0), (1, 1)), item=1))
+        assert len(node) == 1
+
+    def test_mbr_unions_entries(self):
+        node = Node(
+            is_leaf=True,
+            entries=[
+                Entry(Rect((0.1, 0.1), (0.3, 0.2)), item=1),
+                Entry(Rect((0.5, 0.0), (0.9, 0.4)), item=2),
+            ],
+        )
+        assert node.mbr() == Rect((0.1, 0.0), (0.9, 0.4))
+
+    def test_mbr_of_empty_node_raises(self):
+        with pytest.raises(GeometryError):
+            Node(is_leaf=True).mbr()
+
+    def test_children_of_leaf_is_empty(self):
+        node = Node(is_leaf=True, entries=[Entry(Rect((0, 0), (1, 1)), item=1)])
+        assert node.children() == []
+
+    def test_children_of_internal(self):
+        kids = [Node(is_leaf=True), Node(is_leaf=True)]
+        node = Node(
+            is_leaf=False,
+            entries=[Entry(Rect((0, 0), (1, 1)), child=k) for k in kids],
+        )
+        assert node.children() == kids

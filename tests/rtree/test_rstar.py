@@ -1,0 +1,162 @@
+"""Tests for the R*-tree extension (split, insertion, reinsert)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect, mbr_of
+from repro.rtree import RStarTree, RTree, check_tree, rstar_split
+from repro.rtree.node import Entry
+from repro.rtree.rstar import rstar_tree
+from repro.rtree.split import SPLIT_FUNCTIONS, quadratic_split
+from tests.conftest import brute_force_intersecting, random_rects
+
+
+def entries_from(rects):
+    return [Entry(r, item=i) for i, r in enumerate(rects)]
+
+
+class TestRStarSplit:
+    def test_registered(self):
+        assert SPLIT_FUNCTIONS["rstar"] is rstar_split
+
+    def test_partition_complete_and_disjoint(self, rng):
+        arr = random_rects(rng, 26)
+        a, b = rstar_split(entries_from(list(arr)), min_fill=10)
+        assert sorted(a + b) == list(range(26))
+        assert not set(a) & set(b)
+
+    def test_min_fill_respected_at_every_distribution(self, rng):
+        for n, m in ((26, 10), (11, 4), (5, 2), (4, 2)):
+            arr = random_rects(np.random.default_rng(n), n)
+            a, b = rstar_split(entries_from(list(arr)), min_fill=m)
+            assert len(a) >= m and len(b) >= m
+            assert len(a) + len(b) == n
+
+    def test_separates_clusters(self):
+        left = [Rect((0.0, i * 0.01), (0.05, i * 0.01 + 0.005)) for i in range(5)]
+        right = [Rect((0.9, i * 0.01), (0.95, i * 0.01 + 0.005)) for i in range(5)]
+        a, b = rstar_split(entries_from(left + right), min_fill=3)
+        groups = {frozenset(a), frozenset(b)}
+        assert groups == {frozenset(range(5)), frozenset(range(5, 10))}
+
+    def test_overlap_not_worse_than_quadratic(self, rng):
+        """R* optimises overlap directly; over random inputs its split
+        overlap must not exceed the quadratic split's on average."""
+
+        def overlap_of(rects, groups):
+            bb1 = mbr_of(rects[i] for i in groups[0])
+            bb2 = mbr_of(rects[i] for i in groups[1])
+            inter = bb1.intersection(bb2)
+            return inter.area if inter is not None else 0.0
+
+        rstar_total = 0.0
+        quad_total = 0.0
+        for seed in range(20):
+            arr = random_rects(np.random.default_rng(seed), 21, max_side=0.3)
+            rects = list(arr)
+            entries = entries_from(rects)
+            rstar_total += overlap_of(rects, rstar_split(entries, 8))
+            quad_total += overlap_of(rects, quadratic_split(entries, 8))
+        assert rstar_total <= quad_total + 1e-9
+
+    def test_usable_as_plain_rtree_split(self, rng):
+        tree = RTree(max_entries=8, split="rstar")
+        for i, r in enumerate(random_rects(rng, 200)):
+            tree.insert(r, i)
+        check_tree(tree)
+        assert len(tree) == 200
+
+
+class TestRStarTree:
+    def test_builds_valid_tree(self, rng):
+        tree = RStarTree(max_entries=10)
+        for i, r in enumerate(random_rects(rng, 400)):
+            tree.insert(r, i)
+        check_tree(tree)
+        assert len(tree) == 400
+
+    def test_all_items_retrievable(self, rng):
+        arr = random_rects(rng, 300)
+        tree = rstar_tree(arr, 10)
+        found = sorted(tree.search(Rect((0, 0), (1, 1))))
+        assert found == list(range(300))
+
+    def test_queries_match_brute_force(self, rng):
+        arr = random_rects(rng, 350)
+        rects = list(arr)
+        tree = rstar_tree(arr, 12)
+        for _ in range(25):
+            lo = rng.random(2) * 0.7
+            q = Rect(tuple(lo), tuple(lo + 0.2))
+            assert sorted(tree.search(q)) == brute_force_intersecting(rects, q)
+
+    def test_deletion_inherited(self, rng):
+        arr = random_rects(rng, 200)
+        rects = list(arr)
+        tree = rstar_tree(arr, 8)
+        for i in range(0, 200, 2):
+            assert tree.delete(rects[i], i)
+        check_tree(tree)
+        assert sorted(tree.search(Rect((0, 0), (1, 1)))) == list(range(1, 200, 2))
+
+    def test_forced_reinsert_occurs(self, rng):
+        """With reinsertion disabled the tree must split strictly more
+        often, so it ends up with at least as many nodes."""
+        arr = random_rects(rng, 500, max_side=0.05)
+        with_reinsert = RStarTree(max_entries=10)
+        without = RStarTree(max_entries=10, reinsert_fraction=0.0)
+        for i, r in enumerate(arr):
+            with_reinsert.insert(r, i)
+            without.insert(r, i)
+        check_tree(with_reinsert)
+        check_tree(without)
+        assert with_reinsert.node_count() <= without.node_count()
+
+    def test_reinsert_fraction_validated(self):
+        with pytest.raises(ValueError):
+            RStarTree(reinsert_fraction=0.6)
+        with pytest.raises(ValueError):
+            RStarTree(reinsert_fraction=-0.1)
+
+    def test_better_structure_than_guttman(self, rng):
+        """The classic R* result, via the paper's own methodology:
+        lower expected node accesses than quadratic-split TAT."""
+        from repro.model import expected_node_accesses
+        from repro.queries import UniformPointWorkload
+        from repro.rtree import TreeDescription
+
+        arr = random_rects(rng, 1500, max_side=0.03)
+        guttman = RTree(max_entries=16)
+        rstar = RStarTree(max_entries=16)
+        for i, r in enumerate(arr):
+            guttman.insert(r, i)
+            rstar.insert(r, i)
+        w = UniformPointWorkload()
+        cost_g = expected_node_accesses(TreeDescription.from_tree(guttman), w)
+        cost_r = expected_node_accesses(TreeDescription.from_tree(rstar), w)
+        assert cost_r < cost_g
+
+    def test_point_data(self, rng):
+        pts = rng.random((300, 2))
+        tree = RStarTree(max_entries=10)
+        for i, p in enumerate(pts):
+            tree.insert(Rect.from_point(p), i)
+        check_tree(tree)
+        assert len(tree) == 300
+
+    def test_loader_validation(self, rng):
+        with pytest.raises(ValueError):
+            rstar_tree([], 10)
+        with pytest.raises(ValueError):
+            rstar_tree(random_rects(rng, 5), 10, items=["a"])
+
+
+class TestFacadeIntegration:
+    def test_load_tree_rstar(self, rng):
+        from repro.packing import load_description, load_tree
+
+        arr = random_rects(rng, 150)
+        tree = load_tree("rstar", arr, 10)
+        check_tree(tree)
+        desc = load_description("rstar", arr, 10)
+        assert desc.total_nodes == tree.node_count()

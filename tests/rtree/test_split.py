@@ -1,0 +1,181 @@
+"""Unit tests for the Guttman split heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect, mbr_of
+from repro.rtree import Entry, greene_split, linear_split, quadratic_split
+from repro.rtree.split import SPLIT_FUNCTIONS
+
+
+def entries_from(rects):
+    return [Entry(r, item=i) for i, r in enumerate(rects)]
+
+
+def two_clusters(n_per_side=4):
+    """Two well-separated groups any sane split should keep apart."""
+    left = [
+        Rect((0.0 + i * 0.01, 0.0), (0.02 + i * 0.01, 0.05))
+        for i in range(n_per_side)
+    ]
+    right = [
+        Rect((0.9 + i * 0.01, 0.9), (0.92 + i * 0.01, 0.95))
+        for i in range(n_per_side)
+    ]
+    return left + right
+
+
+@pytest.mark.parametrize("split", [quadratic_split, linear_split, greene_split])
+class TestCommonSplitBehaviour:
+    def test_partition_is_complete_and_disjoint(self, split, rng):
+        from tests.conftest import random_rects
+
+        arr = random_rects(rng, 21)
+        entries = entries_from(list(arr))
+        a, b = split(entries, min_fill=8)
+        assert sorted(a + b) == list(range(21))
+        assert not set(a) & set(b)
+
+    def test_min_fill_respected(self, split, rng):
+        from tests.conftest import random_rects
+
+        for seed in range(5):
+            arr = random_rects(np.random.default_rng(seed), 11)
+            entries = entries_from(list(arr))
+            a, b = split(entries, min_fill=4)
+            assert len(a) >= 4
+            assert len(b) >= 4
+
+    def test_separates_two_clusters(self, split):
+        entries = entries_from(two_clusters())
+        a, b = split(entries, min_fill=2)
+        groups = {frozenset(a), frozenset(b)}
+        assert groups == {frozenset(range(4)), frozenset(range(4, 8))}
+
+    def test_split_two_entries(self, split):
+        entries = entries_from(
+            [Rect((0, 0), (0.1, 0.1)), Rect((0.5, 0.5), (0.6, 0.6))]
+        )
+        a, b = split(entries, min_fill=1)
+        assert sorted(a + b) == [0, 1]
+        assert len(a) == len(b) == 1
+
+    def test_rejects_single_entry(self, split):
+        with pytest.raises(ValueError):
+            split(entries_from([Rect((0, 0), (1, 1))]), min_fill=1)
+
+    def test_rejects_min_fill_too_large(self, split):
+        entries = entries_from(two_clusters())
+        with pytest.raises(ValueError):
+            split(entries, min_fill=5)
+
+    def test_rejects_zero_min_fill(self, split):
+        entries = entries_from(two_clusters())
+        with pytest.raises(ValueError):
+            split(entries, min_fill=0)
+
+    def test_identical_rects_split_evenly_enough(self, split):
+        rect = Rect((0.4, 0.4), (0.6, 0.6))
+        entries = entries_from([rect] * 10)
+        a, b = split(entries, min_fill=4)
+        assert len(a) >= 4 and len(b) >= 4
+
+
+class TestQuadraticSpecifics:
+    def test_seeds_are_most_wasteful_pair(self):
+        # Two far-apart tiny squares and a cluster in the middle: the
+        # far pair wastes the most area together and must seed groups.
+        rects = [
+            Rect((0.0, 0.0), (0.01, 0.01)),
+            Rect((0.99, 0.99), (1.0, 1.0)),
+            Rect((0.5, 0.5), (0.51, 0.51)),
+            Rect((0.5, 0.52), (0.51, 0.53)),
+        ]
+        a, b = quadratic_split(entries_from(rects), min_fill=1)
+        # 0 and 1 must end up in different groups.
+        group_of = {}
+        for idx in a:
+            group_of[idx] = "a"
+        for idx in b:
+            group_of[idx] = "b"
+        assert group_of[0] != group_of[1]
+
+    def test_reduces_overlap_vs_arbitrary_split(self, rng):
+        from tests.conftest import random_rects
+
+        arr = random_rects(rng, 30, max_side=0.2)
+        rects = list(arr)
+        entries = entries_from(rects)
+        a, b = quadratic_split(entries, min_fill=12)
+        cover_a = mbr_of(rects[i] for i in a)
+        cover_b = mbr_of(rects[i] for i in b)
+        # Arbitrary split: first half vs second half.
+        cover_1 = mbr_of(rects[:15])
+        cover_2 = mbr_of(rects[15:])
+        assert (
+            cover_a.area + cover_b.area <= cover_1.area + cover_2.area + 1e-9
+        )
+
+
+class TestLinearSpecifics:
+    def test_seeds_most_separated_on_best_axis(self):
+        rects = [
+            Rect((0.0, 0.45), (0.05, 0.55)),
+            Rect((0.95, 0.45), (1.0, 0.55)),
+            Rect((0.4, 0.4), (0.6, 0.6)),
+            Rect((0.45, 0.45), (0.55, 0.55)),
+        ]
+        a, b = linear_split(entries_from(rects), min_fill=1)
+        group_of = {}
+        for idx in a:
+            group_of[idx] = "a"
+        for idx in b:
+            group_of[idx] = "b"
+        assert group_of[0] != group_of[1]
+
+
+class TestGreeneSpecifics:
+    def test_splits_at_midpoint_along_separated_axis(self):
+        # Two x-separated runs of 5: Greene sorts by x-low and halves.
+        rects = [
+            Rect((0.05 * i, 0.4), (0.05 * i + 0.02, 0.6)) for i in range(5)
+        ] + [
+            Rect((0.7 + 0.05 * i, 0.4), (0.72 + 0.05 * i, 0.6))
+            for i in range(5)
+        ]
+        a, b = greene_split(entries_from(rects), min_fill=2)
+        groups = {frozenset(a), frozenset(b)}
+        assert groups == {frozenset(range(5)), frozenset(range(5, 10))}
+
+    def test_disjoint_covers_along_split_axis(self, rng):
+        """Greene's halves never interleave along the chosen axis'
+        lower coordinates."""
+        from tests.conftest import random_rects
+
+        arr = random_rects(rng, 20)
+        rects = list(arr)
+        a, b = greene_split(entries_from(rects), min_fill=8)
+        # One group's members all precede the other's in some axis sort.
+        for axis in range(2):
+            lows_a = sorted(rects[i].lo[axis] for i in a)
+            lows_b = sorted(rects[i].lo[axis] for i in b)
+            if lows_a[-1] <= lows_b[0] or lows_b[-1] <= lows_a[0]:
+                return
+        pytest.fail("groups interleave on every axis")
+
+    def test_builds_valid_trees(self, rng):
+        from repro.rtree import RTree, check_tree
+        from tests.conftest import random_rects
+
+        tree = RTree(max_entries=8, split="greene")
+        for i, r in enumerate(random_rects(rng, 300)):
+            tree.insert(r, i)
+        check_tree(tree)
+        assert len(tree) == 300
+
+
+def test_registry_contents():
+    assert {"quadratic", "linear", "greene", "rstar"} <= set(SPLIT_FUNCTIONS)
+    assert SPLIT_FUNCTIONS["quadratic"] is quadratic_split
+    assert SPLIT_FUNCTIONS["linear"] is linear_split
+    assert SPLIT_FUNCTIONS["greene"] is greene_split

@@ -1,0 +1,127 @@
+"""Tests for :class:`repro.rtree.TreeDescription`."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import GeometryError, Rect, RectArray
+from repro.rtree import RTree, TreeDescription
+from tests.conftest import random_rects
+
+
+@pytest.fixture
+def desc() -> TreeDescription:
+    return TreeDescription.from_level_rects(
+        [
+            [Rect((0, 0), (1, 1))],
+            [Rect((0, 0), (0.5, 1)), Rect((0.5, 0), (1, 1))],
+            [
+                Rect((0, 0), (0.5, 0.5)),
+                Rect((0, 0.5), (0.5, 1)),
+                Rect((0.5, 0), (1, 0.5)),
+                Rect((0.5, 0.5), (1, 1)),
+            ],
+        ]
+    )
+
+
+class TestShape:
+    def test_basic_counts(self, desc):
+        assert desc.height == 3
+        assert desc.node_counts == (1, 2, 4)
+        assert desc.total_nodes == 7
+        assert desc.dim == 2
+
+    def test_level_offsets(self, desc):
+        assert desc.level_offsets == (0, 1, 3, 7)
+
+    def test_node_levels(self, desc):
+        assert desc.node_levels.tolist() == [0, 1, 1, 2, 2, 2, 2]
+
+    def test_level_of(self, desc):
+        assert desc.level_of(0) == 0
+        assert desc.level_of(2) == 1
+        assert desc.level_of(6) == 2
+        with pytest.raises(IndexError):
+            desc.level_of(7)
+
+    def test_all_rects_level_major(self, desc):
+        assert len(desc.all_rects) == 7
+        assert desc.all_rects.rect(0) == Rect((0, 0), (1, 1))
+        assert desc.all_rects.rect(3) == Rect((0, 0), (0.5, 0.5))
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(GeometryError):
+            TreeDescription(())
+
+    def test_mixed_dim_rejected(self):
+        with pytest.raises(GeometryError):
+            TreeDescription(
+                (
+                    RectArray.from_rects([Rect((0, 0), (1, 1))]),
+                    RectArray.from_rects([Rect((0, 0, 0), (1, 1, 1))]),
+                )
+            )
+
+
+class TestAggregates:
+    def test_total_area(self, desc):
+        assert desc.total_area() == pytest.approx(1 + 1 + 1)
+
+    def test_total_extent(self, desc):
+        assert desc.total_extent(0) == pytest.approx(1 + 1 + 2)
+        assert desc.total_extent(1) == pytest.approx(1 + 2 + 2)
+
+    def test_pages_in_top_levels(self, desc):
+        assert desc.pages_in_top_levels(0) == 0
+        assert desc.pages_in_top_levels(1) == 1
+        assert desc.pages_in_top_levels(2) == 3
+        assert desc.pages_in_top_levels(3) == 7
+        with pytest.raises(ValueError):
+            desc.pages_in_top_levels(4)
+
+
+class TestDropTopLevels:
+    def test_zero_is_identity(self, desc):
+        assert desc.drop_top_levels(0) is desc
+
+    def test_drop_one(self, desc):
+        trimmed = desc.drop_top_levels(1)
+        assert trimmed.node_counts == (2, 4)
+        assert trimmed.total_nodes == 6
+
+    def test_drop_all_raises(self, desc):
+        with pytest.raises(ValueError):
+            desc.drop_top_levels(3)
+
+    def test_negative_raises(self, desc):
+        with pytest.raises(ValueError):
+            desc.drop_top_levels(-1)
+
+
+class TestFromTree:
+    def test_matches_tree_structure(self, rng):
+        tree = RTree(max_entries=5, min_entries=2)
+        for i, r in enumerate(random_rects(rng, 120)):
+            tree.insert(r, i)
+        desc = TreeDescription.from_tree(tree)
+        assert desc.height == tree.height
+        assert desc.total_nodes == tree.node_count()
+        levels = tree.nodes_by_level()
+        for level_rects, nodes in zip(desc.levels, levels):
+            assert len(level_rects) == len(nodes)
+            for i, node in enumerate(nodes):
+                assert level_rects.rect(i) == node.mbr()
+
+    def test_empty_tree_raises(self):
+        with pytest.raises(GeometryError):
+            TreeDescription.from_tree(RTree())
+
+    def test_root_mbr_contains_level_mbrs(self, rng):
+        tree = RTree(max_entries=5, min_entries=2)
+        for i, r in enumerate(random_rects(rng, 80)):
+            tree.insert(r, i)
+        desc = TreeDescription.from_tree(tree)
+        root = desc.levels[0].rect(0)
+        for level in desc.levels[1:]:
+            for rect in level:
+                assert root.contains_rect(rect)

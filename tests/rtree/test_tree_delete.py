@@ -1,0 +1,104 @@
+"""Deletion tests: CondenseTree, reinsertion, and root shrinking."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.rtree import RTree, check_tree
+from tests.conftest import random_rects
+
+
+def build(rng, n, max_entries=6):
+    arr = random_rects(rng, n)
+    tree = RTree(max_entries=max_entries, min_entries=2)
+    rects = list(arr)
+    for i, r in enumerate(rects):
+        tree.insert(r, i)
+    return tree, rects
+
+
+class TestDelete:
+    def test_delete_only_entry(self):
+        t = RTree(max_entries=4)
+        r = Rect((0.1, 0.1), (0.2, 0.2))
+        t.insert(r, "x")
+        assert t.delete(r, "x")
+        assert len(t) == 0
+        check_tree(t)
+
+    def test_delete_missing_returns_false(self):
+        t = RTree(max_entries=4)
+        t.insert(Rect((0.1, 0.1), (0.2, 0.2)), "x")
+        assert not t.delete(Rect((0.3, 0.3), (0.4, 0.4)), "x")
+        assert not t.delete(Rect((0.1, 0.1), (0.2, 0.2)), "y")
+        assert len(t) == 1
+
+    def test_delete_requires_exact_rect_and_item(self):
+        t = RTree(max_entries=4)
+        r = Rect((0.1, 0.1), (0.2, 0.2))
+        t.insert(r, "x")
+        t.insert(r, "y")
+        assert t.delete(r, "y")
+        assert t.search(r) == ["x"]
+
+    def test_delete_half_keeps_rest_searchable(self, rng):
+        tree, rects = build(rng, 200)
+        for i in range(0, 200, 2):
+            assert tree.delete(rects[i], i)
+        check_tree(tree)
+        assert len(tree) == 100
+        found = sorted(tree.search(Rect((0, 0), (1, 1))))
+        assert found == list(range(1, 200, 2))
+
+    def test_delete_everything(self, rng):
+        tree, rects = build(rng, 150)
+        order = rng.permutation(150)
+        for i in order:
+            assert tree.delete(rects[i], int(i))
+            check_tree(tree)
+        assert len(tree) == 0
+        assert tree.height == 1
+
+    def test_root_shrinks_after_mass_delete(self, rng):
+        tree, rects = build(rng, 300, max_entries=4)
+        tall = tree.height
+        assert tall >= 3
+        for i in range(290):
+            tree.delete(rects[i], i)
+        check_tree(tree)
+        assert tree.height < tall
+
+    def test_interleaved_insert_delete(self, rng):
+        tree = RTree(max_entries=5, min_entries=2)
+        alive: dict[int, Rect] = {}
+        arr = list(random_rects(rng, 400))
+        for i, r in enumerate(arr):
+            tree.insert(r, i)
+            alive[i] = r
+            if i % 3 == 2:
+                victim = int(rng.choice(list(alive)))
+                assert tree.delete(alive.pop(victim), victim)
+        check_tree(tree)
+        assert len(tree) == len(alive)
+        found = sorted(tree.search(Rect((0, 0), (1, 1))))
+        assert found == sorted(alive)
+
+    def test_delete_then_queries_still_correct(self, rng):
+        tree, rects = build(rng, 250)
+        removed = set()
+        for i in range(0, 250, 3):
+            tree.delete(rects[i], i)
+            removed.add(i)
+        for _ in range(30):
+            lo = rng.random(2) * 0.7
+            q = Rect(tuple(lo), tuple(lo + 0.25))
+            expected = sorted(
+                i
+                for i, r in enumerate(rects)
+                if i not in removed and r.intersects(q)
+            )
+            assert sorted(tree.search(q)) == expected
+
+    def test_delete_from_empty_tree(self):
+        t = RTree()
+        assert not t.delete(Rect((0, 0), (1, 1)), "x")

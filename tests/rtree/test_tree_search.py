@@ -1,0 +1,93 @@
+"""Search tests: queries agree with a brute-force oracle."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.rtree import RTree
+from tests.conftest import brute_force_intersecting, random_rects
+
+
+@pytest.fixture
+def loaded(rng):
+    arr = random_rects(rng, 300)
+    tree = RTree(max_entries=8, min_entries=3)
+    rects = list(arr)
+    for i, r in enumerate(rects):
+        tree.insert(r, i)
+    return tree, rects
+
+
+class TestSearch:
+    def test_empty_tree(self):
+        t = RTree()
+        result = t.query(Rect((0, 0), (1, 1)))
+        assert result.items == []
+        assert result.node_accesses == 0
+
+    def test_matches_brute_force(self, loaded, rng):
+        tree, rects = loaded
+        for _ in range(50):
+            lo = rng.random(2) * 0.8
+            size = rng.random(2) * 0.3
+            q = Rect(tuple(lo), tuple(lo + size))
+            assert sorted(tree.search(q)) == brute_force_intersecting(rects, q)
+
+    def test_point_queries_match_brute_force(self, loaded, rng):
+        tree, rects = loaded
+        for _ in range(50):
+            p = tuple(rng.random(2))
+            expected = [i for i, r in enumerate(rects) if r.contains_point(p)]
+            assert sorted(tree.search_point(p)) == expected
+
+    def test_whole_space_query_returns_everything(self, loaded):
+        tree, rects = loaded
+        assert sorted(tree.search(Rect((0, 0), (1, 1)))) == list(range(len(rects)))
+
+    def test_far_away_query_returns_nothing(self, loaded):
+        tree, _ = loaded
+        assert tree.search(Rect((5, 5), (6, 6))) == []
+
+    def test_node_accesses_counts_root(self, loaded):
+        tree, _ = loaded
+        result = tree.query(Rect((5, 5), (6, 6)))
+        assert result.node_accesses == 1
+        assert result.accesses_per_level[0] == 1
+        assert sum(result.accesses_per_level[1:]) == 0
+
+    def test_accesses_per_level_sums_to_total(self, loaded, rng):
+        tree, _ = loaded
+        for _ in range(10):
+            lo = rng.random(2) * 0.7
+            q = Rect(tuple(lo), tuple(lo + 0.2))
+            result = tree.query(q)
+            assert sum(result.accesses_per_level) == result.node_accesses
+            assert len(result.accesses_per_level) == tree.height
+
+    def test_traversal_visits_exactly_intersecting_mbrs(self, loaded, rng):
+        """The premise of the paper's MBR-list simulation: a traversal
+        touches a node iff the node's MBR intersects the query (except
+        that the root is always touched)."""
+        tree, _ = loaded
+        levels = tree.nodes_by_level()
+        for _ in range(20):
+            lo = rng.random(2) * 0.7
+            q = Rect(tuple(lo), tuple(lo + 0.25))
+            visited = tree.accessed_node_mbrs(q)
+            per_level_visited = [0] * tree.height
+            for level, mbr in visited:
+                per_level_visited[level] += 1
+                if level > 0:
+                    assert mbr.intersects(q)
+            for level, nodes in enumerate(levels):
+                expected = sum(
+                    1 for n in nodes if n.mbr().intersects(q)
+                )
+                if level == 0:
+                    assert per_level_visited[0] == 1
+                else:
+                    assert per_level_visited[level] == expected
+
+    def test_accessed_node_mbrs_empty_tree(self):
+        t = RTree()
+        assert t.accessed_node_mbrs(Rect((0, 0), (1, 1))) == []

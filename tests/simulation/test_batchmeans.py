@@ -1,0 +1,70 @@
+"""Tests for the batch-means confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import batch_means
+
+
+class TestBatchMeans:
+    def test_mean_of_batches(self):
+        est = batch_means([1.0, 2.0, 3.0, 4.0])
+        assert est.mean == pytest.approx(2.5)
+        assert est.n_batches == 4
+
+    def test_identical_batches_zero_width(self):
+        est = batch_means([5.0] * 10)
+        assert est.half_width == 0.0
+        assert est.relative_half_width == 0.0
+        assert est.interval == (5.0, 5.0)
+
+    def test_interval_centred_on_mean(self):
+        est = batch_means([1.0, 3.0, 2.0, 4.0, 2.5])
+        lo, hi = est.interval
+        assert (lo + hi) / 2 == pytest.approx(est.mean)
+        assert hi - lo == pytest.approx(2 * est.half_width)
+
+    def test_known_t_interval(self):
+        # Two batches: mean 1.5, s = sqrt(0.5), se = 0.5,
+        # t_{0.95, 1} = 6.3138.
+        est = batch_means([1.0, 2.0], confidence=0.90)
+        assert est.half_width == pytest.approx(6.3138 * 0.5, abs=1e-3)
+
+    def test_higher_confidence_wider(self):
+        values = [1.0, 2.0, 1.5, 2.5, 1.2]
+        narrow = batch_means(values, confidence=0.90)
+        wide = batch_means(values, confidence=0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_more_batches_narrower(self, rng):
+        small = batch_means(rng.normal(10, 1, size=5))
+        large = batch_means(rng.normal(10, 1, size=100))
+        assert large.half_width < small.half_width
+
+    def test_coverage_is_roughly_nominal(self, rng):
+        """90% intervals should contain the true mean ~90% of the time."""
+        true_mean = 3.0
+        covered = 0
+        trials = 400
+        for _ in range(trials):
+            est = batch_means(rng.normal(true_mean, 1.0, size=20), confidence=0.90)
+            lo, hi = est.interval
+            covered += lo <= true_mean <= hi
+        assert 0.85 <= covered / trials <= 0.95
+
+    def test_relative_half_width(self):
+        est = batch_means([9.0, 11.0])
+        assert est.relative_half_width == pytest.approx(est.half_width / 10.0)
+
+    def test_zero_mean_relative_width_is_inf(self):
+        est = batch_means([-1.0, 1.0])
+        assert est.mean == 0.0
+        assert est.relative_half_width == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_means([1.0])
+        with pytest.raises(ValueError):
+            batch_means([1.0, 2.0], confidence=1.0)
+        with pytest.raises(ValueError):
+            batch_means([1.0, 2.0], confidence=0.0)

@@ -1,0 +1,150 @@
+"""Tests for the §4 validation simulator."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.packing import pack_description
+from repro.queries import (
+    DataDrivenWorkload,
+    UniformPointWorkload,
+    UniformRegionWorkload,
+)
+from repro.rtree import TreeDescription
+from repro.simulation import simulate
+from tests.conftest import random_rects
+
+
+def tiny_description() -> TreeDescription:
+    """Root + two half-plane leaves: hand-checkable access sets."""
+    return TreeDescription.from_level_rects(
+        [
+            [Rect((0, 0), (1, 1))],
+            [Rect((0, 0), (0.5, 1)), Rect((0.5, 0), (1, 1))],
+        ]
+    )
+
+
+class TestExactBehaviours:
+    def test_every_node_cached_when_buffer_big_enough(self):
+        desc = tiny_description()
+        result = simulate(
+            desc, UniformPointWorkload(), buffer_size=3,
+            n_batches=2, batch_size=200,
+        )
+        # After warm-up, all three nodes are resident: zero misses.
+        assert result.disk_accesses.mean == 0.0
+        assert result.node_accesses.mean > 0
+
+    def test_node_accesses_match_expectation(self):
+        desc = tiny_description()
+        result = simulate(
+            desc, UniformPointWorkload(), buffer_size=3,
+            n_batches=5, batch_size=2000,
+        )
+        # Every point hits the root and exactly one leaf.
+        assert result.node_accesses.mean == pytest.approx(2.0, abs=1e-9)
+
+    def test_single_page_buffer_thrashes(self):
+        desc = tiny_description()
+        result = simulate(
+            desc, UniformPointWorkload(), buffer_size=1,
+            n_batches=2, batch_size=500,
+        )
+        # LRU order per query: root, then leaf — with one slot the
+        # leaf always displaces the root, so every access misses.
+        assert result.disk_accesses.mean == pytest.approx(2.0)
+
+    def test_pinning_the_root_saves_one_access(self):
+        desc = tiny_description()
+        result = simulate(
+            desc, UniformPointWorkload(), buffer_size=1, pinned_levels=1,
+            n_batches=2, batch_size=500,
+        )
+        # Root pinned, one slot left: alternating leaves still miss
+        # roughly half the time; misses are at most 1 per query.
+        assert result.disk_accesses.mean <= 1.0
+
+    def test_deterministic_given_seed(self, rng):
+        desc = pack_description(random_rects(rng, 300), 10, "hs")
+        kwargs = dict(buffer_size=10, n_batches=3, batch_size=500)
+        a = simulate(desc, UniformPointWorkload(), rng=42, **kwargs)
+        b = simulate(desc, UniformPointWorkload(), rng=42, **kwargs)
+        assert a.disk_accesses.mean == b.disk_accesses.mean
+
+    def test_warmup_reported(self, rng):
+        desc = pack_description(random_rects(rng, 300), 10, "hs")
+        result = simulate(
+            desc, UniformPointWorkload(), buffer_size=5,
+            n_batches=2, batch_size=100,
+        )
+        assert result.buffer_filled
+        assert result.warmup_queries > 0
+
+    def test_explicit_warmup(self, rng):
+        desc = pack_description(random_rects(rng, 300), 10, "hs")
+        result = simulate(
+            desc, UniformPointWorkload(), buffer_size=5,
+            n_batches=2, batch_size=100, warmup_queries=7,
+        )
+        assert result.warmup_queries == 7
+
+    def test_hit_ratio(self, rng):
+        desc = pack_description(random_rects(rng, 300), 10, "hs")
+        result = simulate(
+            desc, UniformPointWorkload(), buffer_size=20,
+            n_batches=3, batch_size=500,
+        )
+        expected = 1 - result.disk_accesses.mean / result.node_accesses.mean
+        assert result.hit_ratio == pytest.approx(expected)
+
+    def test_validation_errors(self, rng):
+        desc = tiny_description()
+        w = UniformPointWorkload()
+        with pytest.raises(ValueError):
+            simulate(desc, w, 2, n_batches=1)
+        with pytest.raises(ValueError):
+            simulate(desc, w, 2, batch_size=0)
+        with pytest.raises(ValueError):
+            simulate(desc, w, 2, policy="mru")
+        with pytest.raises(ValueError):
+            simulate(desc, w, 2, pinned_levels=5)
+
+
+class TestStatisticalAgreement:
+    def test_region_queries_touch_more_nodes(self, rng):
+        desc = pack_description(random_rects(rng, 500), 10, "hs")
+        point = simulate(
+            desc, UniformPointWorkload(), 10, n_batches=3, batch_size=1000
+        )
+        region = simulate(
+            desc, UniformRegionWorkload((0.2, 0.2)), 10,
+            n_batches=3, batch_size=1000,
+        )
+        assert region.node_accesses.mean > point.node_accesses.mean
+
+    def test_node_accesses_match_model_expectation(self, rng):
+        from repro.model import expected_node_accesses
+
+        desc = pack_description(random_rects(rng, 800), 10, "hs")
+        w = UniformRegionWorkload((0.1, 0.1))
+        result = simulate(desc, w, 5, n_batches=10, batch_size=2000)
+        expected = expected_node_accesses(desc, w)
+        assert result.node_accesses.mean == pytest.approx(expected, rel=0.05)
+
+    def test_data_driven_workload_simulates(self, rng):
+        data = random_rects(rng, 500, max_side=0.05)
+        desc = pack_description(data, 10, "hs")
+        w = DataDrivenWorkload.from_rects(data)
+        result = simulate(desc, w, 20, n_batches=3, batch_size=1000)
+        assert result.disk_accesses.mean >= 0
+        assert result.node_accesses.mean >= 1.0  # root always hit
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "clock", "random"])
+    def test_all_policies_run(self, rng, policy):
+        desc = pack_description(random_rects(rng, 300), 10, "hs")
+        result = simulate(
+            desc, UniformPointWorkload(), 15,
+            n_batches=2, batch_size=300, policy=policy,
+        )
+        assert 0 <= result.disk_accesses.mean <= result.node_accesses.mean

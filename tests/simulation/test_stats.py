@@ -1,0 +1,70 @@
+"""Tests for the self-contained statistics helpers.
+
+scipy is available in the test environment, so the incomplete beta and
+Student-t implementations are checked directly against it.
+"""
+
+import math
+
+import pytest
+
+scipy_stats = pytest.importorskip("scipy.stats")
+scipy_special = pytest.importorskip("scipy.special")
+
+from repro.simulation import (
+    regularized_incomplete_beta,
+    student_t_cdf,
+    student_t_quantile,
+)
+
+
+class TestIncompleteBeta:
+    @pytest.mark.parametrize("a,b", [(0.5, 0.5), (1, 1), (2, 5), (10, 0.5), (9.5, 9.5)])
+    @pytest.mark.parametrize("x", [0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0])
+    def test_against_scipy(self, a, b, x):
+        got = regularized_incomplete_beta(a, b, x)
+        assert got == pytest.approx(scipy_special.betainc(a, b, x), abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            regularized_incomplete_beta(0, 1, 0.5)
+        with pytest.raises(ValueError):
+            regularized_incomplete_beta(1, 1, 1.5)
+
+
+class TestStudentT:
+    @pytest.mark.parametrize("df", [1, 2, 5, 19, 30, 120])
+    @pytest.mark.parametrize("t", [-3.0, -1.0, 0.0, 0.5, 2.5])
+    def test_cdf_against_scipy(self, df, t):
+        got = student_t_cdf(t, df)
+        assert got == pytest.approx(scipy_stats.t.cdf(t, df), abs=1e-10)
+
+    @pytest.mark.parametrize("df", [1, 2, 5, 19, 30])
+    @pytest.mark.parametrize("p", [0.05, 0.1, 0.5, 0.9, 0.95, 0.99])
+    def test_quantile_against_scipy(self, df, p):
+        got = student_t_quantile(p, df)
+        assert got == pytest.approx(scipy_stats.t.ppf(p, df), abs=1e-6, rel=1e-6)
+
+    def test_quantile_symmetry(self):
+        assert student_t_quantile(0.95, 19) == pytest.approx(
+            -student_t_quantile(0.05, 19)
+        )
+
+    def test_paper_batch_means_quantile(self):
+        """The 90% CI with 20 batches uses t_{0.95, 19} ≈ 1.729."""
+        assert student_t_quantile(0.95, 19) == pytest.approx(1.7291, abs=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            student_t_cdf(0.0, 0)
+        with pytest.raises(ValueError):
+            student_t_quantile(0.0, 5)
+        with pytest.raises(ValueError):
+            student_t_quantile(1.0, 5)
+
+
+def test_cdf_quantile_roundtrip():
+    for df in (3, 19):
+        for p in (0.2, 0.6, 0.975):
+            t = student_t_quantile(p, df)
+            assert student_t_cdf(t, df) == pytest.approx(p, abs=1e-9)
