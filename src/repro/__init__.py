@@ -20,6 +20,8 @@ Quick tour (see ``examples/quickstart.py`` for a runnable version)::
     measured = simulate(desc, workload, buffer_size=100)
 """
 
+from __future__ import annotations
+
 from .buffer import (
     BufferPool,
     BufferStats,

@@ -1,0 +1,42 @@
+"""reprolint — repo-specific static analysis for the reproduction.
+
+The buffer model's conclusions rest on numerically delicate
+probability sums (Eqs. 5–6) and on structural conventions — pure
+geometry kernels, seeded RNGs, registered experiments — that nothing
+in the type system enforces.  This package is the enforcement layer: a
+stdlib-``ast`` rule framework with a CLI (``repro-analysis`` /
+``python -m repro.analysis``) and a pytest gate that fails the suite
+on any violation in ``src/``.
+
+See ``docs/ANALYSIS.md`` for the rule catalogue and rationale.
+"""
+
+from __future__ import annotations
+
+from . import rules as _rules  # noqa: F401  (import populates the registry)
+from .config import Config, find_pyproject, load_config
+from .core import (
+    ModuleContext,
+    Rule,
+    Violation,
+    check_module,
+    iter_python_files,
+    registry,
+    run_analysis,
+)
+from .equations import PAPER_EQUATIONS, known_equation
+
+__all__ = [
+    "Config",
+    "ModuleContext",
+    "PAPER_EQUATIONS",
+    "Rule",
+    "Violation",
+    "check_module",
+    "find_pyproject",
+    "iter_python_files",
+    "known_equation",
+    "load_config",
+    "registry",
+    "run_analysis",
+]

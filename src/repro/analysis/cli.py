@@ -1,0 +1,129 @@
+"""Command-line front end: ``repro-analysis [paths] --format text|json``.
+
+Exit status: 0 when the tree is clean, 1 when violations are found,
+2 on usage errors.  The text format is one ``file:line:col RLxxx
+message`` line per violation — greppable and editor-clickable; the
+JSON format carries the same records plus a summary for tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from . import rules as _rules  # noqa: F401  (import populates the registry)
+from .config import Config, find_pyproject, load_config
+from .core import registry, run_analysis
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-analysis`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-analysis",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: from pyproject)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--pyproject",
+        metavar="PATH",
+        help="pyproject.toml to read [tool.repro.analysis] from "
+        "(default: nearest ancestor of the working directory)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _resolve_config(args: argparse.Namespace) -> Config:
+    pyproject = (
+        Path(args.pyproject) if args.pyproject else find_pyproject(Path.cwd())
+    )
+    config = load_config(pyproject)
+    overrides: dict[str, object] = {}
+    if args.select:
+        overrides["select"] = tuple(
+            token.strip() for token in args.select.split(",") if token.strip()
+        )
+    if args.ignore:
+        overrides["ignore"] = tuple(
+            token.strip() for token in args.ignore.split(",") if token.strip()
+        )
+    return config.override(**overrides) if overrides else config
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro-analysis`` / ``python -m repro.analysis``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in registry.all_rules():
+            print(f"{rule.id}  {rule.name}: {rule.description}")
+        return 0
+
+    try:
+        config = _resolve_config(args)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    paths = [Path(p) for p in (args.paths or config.paths)]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path(s): {', '.join(str(p) for p in missing)}")
+
+    try:
+        violations, n_files = run_analysis(paths, config)
+    except ValueError as exc:  # unknown rule id in --select
+        parser.error(str(exc))
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "files_checked": n_files,
+                    "violations": [v.to_dict() for v in violations],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for violation in violations:
+            print(violation.format())
+        noun = "file" if n_files == 1 else "files"
+        if violations:
+            print(
+                f"reprolint: {len(violations)} violation(s) in {n_files} "
+                f"{noun} checked",
+                file=sys.stderr,
+            )
+        else:
+            print(f"reprolint: {n_files} {noun} clean", file=sys.stderr)
+    return 1 if violations else 0

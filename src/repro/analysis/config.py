@@ -1,0 +1,158 @@
+"""Configuration for reprolint, read from ``[tool.repro.analysis]``.
+
+The analyzer must run on Python 3.10, where ``tomllib`` does not exist
+and the environment is offline (no ``tomli`` wheel).  A minimal
+fallback parser therefore handles the small TOML subset the config
+block actually uses: string values, booleans, and (possibly
+multi-line) arrays of strings inside one table.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+
+__all__ = ["Config", "find_pyproject", "load_config"]
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - exercised only on 3.10
+    tomllib = None  # type: ignore[assignment]
+
+_TABLE = ("tool", "repro", "analysis")
+
+
+@dataclass(frozen=True)
+class Config:
+    """Resolved analyzer settings.
+
+    Path scopes are lists of posix-path *fragments* matched as plain
+    substrings (see :meth:`ModuleContext.in_any`), so they work from
+    any checkout location.
+    """
+
+    paths: tuple[str, ...] = ("src",)
+    """Default targets when the CLI is invoked without paths."""
+    exclude: tuple[str, ...] = ()
+    """Path fragments to skip entirely."""
+    select: tuple[str, ...] | None = None
+    """If set, only these rule ids run."""
+    ignore: tuple[str, ...] = ()
+    """Rule ids disabled globally."""
+    float_eq_paths: tuple[str, ...] = ("repro/geometry/", "repro/model/")
+    """Where RL001 (no float ==/!=) applies."""
+    kernel_paths: tuple[str, ...] = ("repro/geometry/", "repro/packing/")
+    """Where RL003 (kernel purity) applies."""
+    experiment_paths: tuple[str, ...] = ("repro/experiments/",)
+    """Where RL004 (experiment registration) applies."""
+    rng_helper_paths: tuple[str, ...] = ()
+    """Modules allowed to call ``default_rng()`` without a seed (RL007)."""
+
+    _KEY_MAP = {
+        "paths": "paths",
+        "exclude": "exclude",
+        "select": "select",
+        "ignore": "ignore",
+        "float-eq-paths": "float_eq_paths",
+        "kernel-paths": "kernel_paths",
+        "experiment-paths": "experiment_paths",
+        "rng-helper-paths": "rng_helper_paths",
+    }
+
+    @classmethod
+    def from_mapping(cls, data: dict[str, object]) -> "Config":
+        """Build a config from the raw ``[tool.repro.analysis]`` table."""
+        known = {f.name for f in fields(cls)}
+        kwargs: dict[str, object] = {}
+        for key, value in data.items():
+            attr = cls._KEY_MAP.get(key, key.replace("-", "_"))
+            if attr not in known:
+                raise ValueError(f"unknown reprolint config key: {key!r}")
+            if isinstance(value, list):
+                value = tuple(str(v) for v in value)
+            kwargs[attr] = value
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def override(self, **changes: object) -> "Config":
+        """A copy with the given fields replaced (CLI overrides)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """Walk upward from ``start`` to the nearest ``pyproject.toml``."""
+    for directory in [start, *start.parents]:
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_config(pyproject: Path | None) -> Config:
+    """Load the ``[tool.repro.analysis]`` table (defaults if absent)."""
+    if pyproject is None or not pyproject.is_file():
+        return Config()
+    text = pyproject.read_text(encoding="utf-8")
+    if tomllib is not None:
+        data: dict[str, object] = tomllib.loads(text)
+        table = data
+        for part in _TABLE:
+            nxt = table.get(part) if isinstance(table, dict) else None
+            if not isinstance(nxt, dict):
+                return Config()
+            table = nxt
+        return Config.from_mapping(table)
+    return Config.from_mapping(_parse_table_fallback(text, ".".join(_TABLE)))
+
+
+_HEADER_RE = re.compile(r"^\s*\[(?P<name>[^\]]+)\]\s*$")
+_STRING_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+
+
+def _parse_table_fallback(text: str, table_name: str) -> dict[str, object]:
+    """Extract one TOML table without ``tomllib`` (Python 3.10 path).
+
+    Supports exactly the shapes the analyzer config uses: ``key = "s"``,
+    ``key = true/false``, and ``key = ["a", "b", ...]`` where the array
+    may span multiple lines.  Anything fancier belongs on 3.11+.
+    """
+    lines = text.splitlines()
+    in_table = False
+    collected: list[str] = []
+    for line in lines:
+        header = _HEADER_RE.match(line)
+        if header is not None:
+            in_table = header.group("name").strip() == table_name
+            continue
+        if in_table:
+            collected.append(line.split("#", 1)[0])
+
+    data: dict[str, object] = {}
+    buffer = ""
+    key: str | None = None
+    for line in collected:
+        if key is None:
+            if "=" not in line:
+                continue
+            key, _, rhs = line.partition("=")
+            key = key.strip().strip('"')
+            buffer = rhs.strip()
+        else:
+            buffer += " " + line.strip()
+        if buffer.startswith("[") and not buffer.endswith("]"):
+            continue  # multi-line array: keep accumulating
+        data[key] = _parse_value_fallback(buffer)
+        key, buffer = None, ""
+    return data
+
+
+def _parse_value_fallback(raw: str) -> object:
+    raw = raw.strip()
+    if raw.startswith("["):
+        return [m.group(1) for m in _STRING_RE.finditer(raw)]
+    if raw in ("true", "false"):
+        return raw == "true"
+    match = _STRING_RE.match(raw)
+    if match is not None:
+        return match.group(1)
+    raise ValueError(f"unsupported TOML value in reprolint config: {raw!r}")

@@ -1,0 +1,28 @@
+"""The paper-equation map: the single source of truth for ``Eq. N``.
+
+Every ``Eq. N`` reference in a source docstring (rule RL006) and in
+``docs/MODEL.md`` (checked by ``tests/analysis/test_equations.py``)
+must name a key of :data:`PAPER_EQUATIONS`.  This keeps prose and code
+from drifting into citing equations the paper does not have — the
+buffering analyses this reproduction builds on live or die by exactly
+these formulas.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PAPER_EQUATIONS", "known_equation"]
+
+PAPER_EQUATIONS: dict[int, str] = {
+    1: "EPT(0,0) = Σ A_ij — expected node accesses per uniform point query",
+    2: "EPT(qx,qy) = A + qx·Ly + qy·Lx + M·qx·qy — Kamel–Faloutsos region cost",
+    3: "A^Q_ij = area(R' ∩ U') / area(U') — boundary-corrected access probability",
+    4: "A^Q_ij = (1/n) Σ_k y_ijk — data-driven access probability",
+    5: "D(N) = M − Σ_j (1−p_j)^N — expected distinct nodes touched in N queries",
+    6: "ED = Σ_j p_j (1−p_j)^{N*} — steady-state disk accesses per query",
+}
+"""Equation number → statement, following the paper's §3 numbering."""
+
+
+def known_equation(number: int) -> bool:
+    """True if the paper defines equation ``number``."""
+    return number in PAPER_EQUATIONS

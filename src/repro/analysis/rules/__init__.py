@@ -1,0 +1,26 @@
+"""Rule modules for reprolint.
+
+Importing this package registers every rule with
+:data:`repro.analysis.core.registry`; add new rules by dropping a
+module here and importing it below.
+"""
+
+from __future__ import annotations
+
+from .rl001_float_eq import FloatEqualityRule
+from .rl002_prob_stability import ProbabilityStabilityRule
+from .rl003_purity import KernelPurityRule
+from .rl004_experiment_meta import ExperimentMetaRule
+from .rl005_all_hygiene import AllHygieneRule
+from .rl006_equation_refs import EquationReferenceRule
+from .rl007_determinism import DeterminismRule
+
+__all__ = [
+    "AllHygieneRule",
+    "DeterminismRule",
+    "EquationReferenceRule",
+    "ExperimentMetaRule",
+    "FloatEqualityRule",
+    "KernelPurityRule",
+    "ProbabilityStabilityRule",
+]

@@ -1,0 +1,124 @@
+"""Shared AST predicates used by several reprolint rules."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = [
+    "attribute_chain",
+    "is_float_constant",
+    "is_one_minus",
+    "module_bindings",
+    "public_defs",
+    "string_list",
+]
+
+
+def is_float_constant(node: ast.expr) -> bool:
+    """True for a float literal, including a negated one (``-1.0``)."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def is_one_minus(node: ast.expr) -> bool:
+    """True for ``1 - x`` / ``1.0 - x`` expressions (probability misses)."""
+    return (
+        isinstance(node, ast.BinOp)
+        and isinstance(node.op, ast.Sub)
+        and isinstance(node.left, ast.Constant)
+        and not isinstance(node.left.value, bool)
+        and node.left.value in (1, 1.0)
+    )
+
+
+def attribute_chain(node: ast.expr) -> list[str] | None:
+    """``a.b.c`` as ``["a", "b", "c"]``; None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def string_list(node: ast.expr) -> list[tuple[str, int]] | None:
+    """Elements of a list/tuple of string literals with their lines.
+
+    Returns ``None`` when the value is not a literal sequence of
+    strings (the caller then reports it as un-analyzable).
+    """
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    out: list[tuple[str, int]] = []
+    for element in node.elts:
+        if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+            return None
+        out.append((element.value, element.lineno))
+    return out
+
+
+def _bind_target(target: ast.expr, names: set[str]) -> None:
+    if isinstance(target, ast.Name):
+        names.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            _bind_target(element, names)
+    elif isinstance(target, ast.Starred):
+        _bind_target(target.value, names)
+
+
+def module_bindings(tree: ast.Module) -> tuple[set[str], bool]:
+    """Names bound at module level, and whether a ``*`` import occurs.
+
+    Descends into module-level ``if``/``try`` blocks (the usual homes
+    of conditional imports) but not into function or class bodies.
+    """
+    names: set[str] = set()
+    star_import = False
+    stack: list[ast.stmt] = list(tree.body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                _bind_target(target, names)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            _bind_target(stmt.target, names)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                names.add(alias.asname or alias.name.partition(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name == "*":
+                    star_import = True
+                else:
+                    names.add(alias.asname or alias.name)
+        elif isinstance(stmt, ast.If):
+            stack.extend(stmt.body)
+            stack.extend(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            stack.extend(stmt.body)
+            stack.extend(stmt.orelse)
+            stack.extend(stmt.finalbody)
+            for handler in stmt.handlers:
+                stack.extend(handler.body)
+        elif isinstance(stmt, (ast.With, ast.For, ast.While)):
+            stack.extend(stmt.body)
+    return names, star_import
+
+
+def public_defs(
+    tree: ast.Module,
+) -> list[ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef]:
+    """Top-level public function/class definitions of a module."""
+    return [
+        stmt
+        for stmt in tree.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+        and not stmt.name.startswith("_")
+    ]

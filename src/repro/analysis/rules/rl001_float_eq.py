@@ -1,0 +1,50 @@
+"""RL001 — no float ``==``/``!=`` in the geometry and model packages.
+
+The model's outputs are sums of products of floating-point areas and
+probabilities; exact equality against a float literal is either dead
+code (the value is never exactly hit) or a latent bug (it is hit only
+on some platforms).  Comparisons must go through the tolerance helpers
+in :mod:`repro.geometry.tolerance` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import ModuleContext, Rule, Violation, registry
+from .common import is_float_constant
+
+__all__ = ["FloatEqualityRule"]
+
+
+@registry.register
+class FloatEqualityRule(Rule):
+    """Flag ``==`` / ``!=`` comparisons against float literals."""
+
+    id = "RL001"
+    name = "float-equality"
+    description = (
+        "no float ==/!= in geometry/model code; use "
+        "repro.geometry.tolerance.isclose / near_zero"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if not ctx.in_any(ctx.config.float_eq_paths):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            left = node.left
+            for op, right in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                    is_float_constant(left) or is_float_constant(right)
+                ):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield ctx.violation(
+                        node,
+                        self.id,
+                        f"float `{symbol}` comparison; use tolerance helpers "
+                        "(repro.geometry.tolerance.isclose/near_zero)",
+                    )
+                left = right

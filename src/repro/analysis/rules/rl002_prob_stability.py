@@ -1,0 +1,101 @@
+"""RL002 — probability-domain numerical stability.
+
+``D(N) = M − Σ (1−p)^N`` (Eq. 5) and ``ED = Σ p (1−p)^{N*}`` (Eq. 6)
+involve miss probabilities ``(1−p)`` raised to astronomically large
+``N`` (``N*`` is found by search up to ``2**62``).  Evaluating them as
+written loses all precision for ``p`` below ~1e-16: ``1 - p`` rounds
+to 1.0 and the model silently reports a full buffer miss rate of zero.
+The hot paths therefore compute ``exp(N · log1p(−p))``; this rule
+keeps the unstable spellings from creeping back in.
+
+Flagged patterns:
+
+* ``log(1 - p)`` — rewrite as ``log1p(-p)``;
+* ``(1 - p) ** n`` with a non-trivial exponent — rewrite as
+  ``exp(n * log1p(-p))``;
+* ``power(1 - p, n)`` — same rewrite.
+
+Small constant integer exponents (squares, cubes) are exact and
+exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import ModuleContext, Rule, Violation, registry
+from .common import is_one_minus
+
+__all__ = ["ProbabilityStabilityRule"]
+
+_MAX_EXACT_EXPONENT = 4
+
+
+def _small_constant_exponent(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+        and abs(node.value) <= _MAX_EXACT_EXPONENT
+    )
+
+
+@registry.register
+class ProbabilityStabilityRule(Rule):
+    """Flag numerically unstable spellings of miss-probability math."""
+
+    id = "RL002"
+    name = "probability-stability"
+    description = (
+        "no raw log(1 - p) or (1 - p)**n in probability code; "
+        "use log1p(-p) / exp(n * log1p(-p))"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func_name = self._call_name(node)
+                if (
+                    func_name == "log"
+                    and len(node.args) >= 1
+                    and is_one_minus(node.args[0])
+                ):
+                    yield ctx.violation(
+                        node,
+                        self.id,
+                        "log(1 - p) loses precision for small p; "
+                        "use log1p(-p)",
+                    )
+                elif (
+                    func_name == "power"
+                    and len(node.args) >= 2
+                    and is_one_minus(node.args[0])
+                    and not _small_constant_exponent(node.args[1])
+                ):
+                    yield ctx.violation(
+                        node,
+                        self.id,
+                        "power(1 - p, n) underflows for small p; "
+                        "use exp(n * log1p(-p))",
+                    )
+            elif (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.Pow)
+                and is_one_minus(node.left)
+                and not _small_constant_exponent(node.right)
+            ):
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    "(1 - p) ** n underflows for small p; "
+                    "use exp(n * log1p(-p))",
+                )
+
+    @staticmethod
+    def _call_name(node: ast.Call) -> str | None:
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr
+        if isinstance(node.func, ast.Name):
+            return node.func.id
+        return None

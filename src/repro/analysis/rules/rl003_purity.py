@@ -1,0 +1,179 @@
+"""RL003 — purity of geometry and packing kernels.
+
+The geometry and packing layers are the numerical foundation of the
+reproduction: the model's probability sums are only reproducible if
+the kernels beneath them never mutate their inputs or reach for module
+state.  (``RectArray`` documents this contract: "all bulk operations
+return fresh arrays and never mutate ``self``".)  This rule enforces
+it structurally: inside ``repro/geometry`` and ``repro/packing``,
+functions may not
+
+* assign to a subscript or attribute of a parameter
+  (``param[i] = ...``, ``param.x = ...``),
+* call an in-place mutator method on a parameter
+  (``param.sort()``, ``param.fill(0)``, ...),
+* use ``global`` or ``nonlocal`` declarations.
+
+A parameter that is re-bound by a plain assignment first (the standard
+"copy then own" idiom, e.g. ``lo = np.array(lo, copy=True)``) is
+considered owned by the function and exempt.  ``self``/``cls`` are
+exempt: constructors initialise their own instance.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import ModuleContext, Rule, Violation, registry
+
+__all__ = ["KernelPurityRule"]
+
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "clear",
+        "extend",
+        "fill",
+        "insert",
+        "itemset",
+        "partition",
+        "pop",
+        "popitem",
+        "put",
+        "remove",
+        "resize",
+        "reverse",
+        "setdefault",
+        "setfield",
+        "setflags",
+        "sort",
+        "update",
+    }
+)
+
+
+def _base_name(node: ast.expr) -> str | None:
+    """The root ``Name`` of a subscript/attribute chain, if any."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _own_nodes(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AST]:
+    """All descendants of ``func`` excluding nested function/class bodies."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _rebound_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Parameter names the function re-binds with a plain assignment."""
+    rebound: set[str] = set()
+    for node in _own_nodes(func):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            targets = [node.target]
+        elif isinstance(node, ast.NamedExpr):
+            targets = [node.target]
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            targets = [node.optional_vars]
+        for target in targets:
+            _collect_plain_names(target, rebound)
+    return rebound
+
+
+def _collect_plain_names(target: ast.expr, out: set[str]) -> None:
+    """Names bound by ``target`` — *not* names inside subscript stores."""
+    if isinstance(target, ast.Name):
+        out.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            _collect_plain_names(element, out)
+    elif isinstance(target, ast.Starred):
+        _collect_plain_names(target.value, out)
+
+
+@registry.register
+class KernelPurityRule(Rule):
+    """Flag parameter mutation and global state in pure kernels."""
+
+    id = "RL003"
+    name = "kernel-purity"
+    description = (
+        "geometry/packing kernels must not mutate parameters or module "
+        "globals; return fresh arrays instead"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if not ctx.in_any(ctx.config.kernel_paths):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: ModuleContext, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Violation]:
+        args = func.args
+        params = {
+            a.arg
+            for a in (
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+                *([args.vararg] if args.vararg else []),
+                *([args.kwarg] if args.kwarg else []),
+            )
+        }
+        params -= {"self", "cls"}
+        params -= _rebound_names(func)
+
+        for node in _own_nodes(func):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                keyword = "global" if isinstance(node, ast.Global) else "nonlocal"
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    f"`{keyword}` in kernel `{func.name}`; kernels must not "
+                    "touch enclosing state",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, (ast.Subscript, ast.Attribute)):
+                        name = _base_name(target)
+                        if name in params:
+                            yield ctx.violation(
+                                node,
+                                self.id,
+                                f"kernel `{func.name}` writes into parameter "
+                                f"`{name}`; return a fresh array instead",
+                            )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                value = node.func.value
+                if (
+                    isinstance(value, ast.Name)
+                    and value.id in params
+                    and node.func.attr in _MUTATOR_METHODS
+                ):
+                    yield ctx.violation(
+                        node,
+                        self.id,
+                        f"kernel `{func.name}` calls in-place "
+                        f"`{value.id}.{node.func.attr}()` on a parameter",
+                    )

@@ -1,0 +1,96 @@
+"""RL005 — ``__all__`` hygiene.
+
+The package's public surface is what the README and examples import;
+a name listed in ``__all__`` that does not exist breaks
+``from repro.x import *`` and documentation tooling, while a public
+def/class missing from ``__all__`` silently drops out of the API.
+Every source module with public definitions must declare ``__all__``
+as a literal list/tuple of strings, each naming a real module-level
+binding, and every public top-level function/class must be exported.
+
+Public *assignments* (constants, registries) may stay unexported —
+only defs and classes are required entries.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import ModuleContext, Rule, Violation, registry
+from .common import module_bindings, public_defs, string_list
+
+__all__ = ["AllHygieneRule"]
+
+
+def _find_dunder_all(tree: ast.Module) -> ast.Assign | None:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return stmt
+    return None
+
+
+@registry.register
+class AllHygieneRule(Rule):
+    """Flag missing, stale, or incomplete ``__all__`` declarations."""
+
+    id = "RL005"
+    name = "all-hygiene"
+    description = (
+        "__all__ must exist (when public defs do), name only real "
+        "bindings, and cover every public def/class"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        tree = ctx.tree
+        dunder_all = _find_dunder_all(tree)
+        publics = public_defs(tree)
+
+        if dunder_all is None:
+            if publics:
+                yield ctx.violation(
+                    publics[0],
+                    self.id,
+                    f"module defines public `{publics[0].name}` but no "
+                    "__all__",
+                )
+            return
+
+        exported = string_list(dunder_all.value)
+        if exported is None:
+            yield ctx.violation(
+                dunder_all,
+                self.id,
+                "__all__ must be a literal list/tuple of strings",
+            )
+            return
+
+        names = [name for name, _ in exported]
+        duplicates = {name for name in names if names.count(name) > 1}
+        for name in sorted(duplicates):
+            yield ctx.violation(
+                dunder_all, self.id, f"__all__ lists {name!r} more than once"
+            )
+
+        bound, star_import = module_bindings(tree)
+        if not star_import:
+            for name, line in exported:
+                if name not in bound:
+                    yield Violation(
+                        path=ctx.display_path,
+                        line=line,
+                        col=1,
+                        rule_id=self.id,
+                        message=f"__all__ exports {name!r} which is not "
+                        "defined in the module",
+                    )
+
+        for definition in publics:
+            if definition.name not in names:
+                yield ctx.violation(
+                    definition,
+                    self.id,
+                    f"public `{definition.name}` is missing from __all__",
+                )

@@ -1,0 +1,68 @@
+"""RL006 — docstring ``Eq. N`` references must exist in the paper.
+
+The code cites the paper's equations throughout its docstrings
+(``D(N) = M − Σ (1−p)^N`` is "Eq. 5", ``ED`` is "Eq. 6", ...).  A
+citation of an equation the paper does not define — a typo, or a
+leftover from an edit — sends readers chasing nothing.  Every
+``Eq. N`` / ``Eqs. N–M`` reference in a module, class, or function
+docstring must resolve against :data:`repro.analysis.equations
+.PAPER_EQUATIONS`, the same map ``docs/MODEL.md`` is checked against.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..core import ModuleContext, Rule, Violation, registry
+from ..equations import PAPER_EQUATIONS
+
+__all__ = ["EquationReferenceRule", "iter_equation_numbers"]
+
+_EQ_REF = re.compile(r"\bEqs?\.\s*(\d+)(?:\s*[-–—]\s*(\d+))?")
+
+
+def iter_equation_numbers(text: str) -> Iterator[int]:
+    """All equation numbers referenced in ``text`` (ranges expanded)."""
+    for match in _EQ_REF.finditer(text):
+        first = int(match.group(1))
+        last = int(match.group(2)) if match.group(2) else first
+        if last < first:  # nonsense range: report both endpoints
+            yield first
+            yield last
+            continue
+        yield from range(first, last + 1)
+
+
+@registry.register
+class EquationReferenceRule(Rule):
+    """Flag docstring references to unknown paper equations."""
+
+    id = "RL006"
+    name = "equation-references"
+    description = (
+        "docstring Eq. N references must appear in the paper-equation "
+        "map (repro.analysis.equations)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node,
+                (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef),
+            ):
+                continue
+            docstring = ast.get_docstring(node, clean=False)
+            if not docstring:
+                continue
+            anchor = node.body[0] if isinstance(node, ast.Module) else node
+            for number in iter_equation_numbers(docstring):
+                if number not in PAPER_EQUATIONS:
+                    known = ", ".join(str(n) for n in sorted(PAPER_EQUATIONS))
+                    yield ctx.violation(
+                        anchor,
+                        self.id,
+                        f"docstring cites Eq. {number}, which is not in the "
+                        f"paper-equation map (known: {known})",
+                    )

@@ -1,0 +1,141 @@
+"""RL007 — determinism: no bare excepts, no unseeded randomness.
+
+Every experiment in this repository is reproducible because every
+random stream is seeded (``DATASET_SEEDS`` pins the data sets; the
+simulator and buffer policies take explicit ``rng`` arguments with
+seeded defaults).  Unseeded randomness makes figures unrepeatable and
+turns model-vs-simulation comparisons into noise; bare ``except:``
+clauses swallow the very errors (``KeyboardInterrupt`` included) that
+would reveal a broken run.  This rule flags
+
+* bare ``except:`` handlers,
+* ``default_rng()`` called without a seed,
+* calls into the legacy global NumPy RNG (``np.random.rand`` & co.),
+* calls through the stdlib ``random`` module (``random.random()``,
+  ``random.seed()``, ...) — except ``random.Random(seed)`` instances.
+
+Modules listed in ``rng-helper-paths`` (sanctioned RNG factories) are
+exempt from the seeding checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import ModuleContext, Rule, Violation, registry
+from .common import attribute_chain
+
+__all__ = ["DeterminismRule"]
+
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+@registry.register
+class DeterminismRule(Rule):
+    """Flag bare excepts and unseeded random-number generation."""
+
+    id = "RL007"
+    name = "determinism"
+    description = (
+        "no bare except; no unseeded random/np.random outside the "
+        "sanctioned RNG helpers"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        rng_exempt = ctx.in_any(ctx.config.rng_helper_paths)
+        numpy_aliases, random_aliases, bare_default_rng = self._imports(ctx.tree)
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    "bare `except:` swallows every error (including "
+                    "KeyboardInterrupt); catch a specific exception",
+                )
+            elif isinstance(node, ast.Call) and not rng_exempt:
+                yield from self._check_call(
+                    ctx, node, numpy_aliases, random_aliases, bare_default_rng
+                )
+
+    @staticmethod
+    def _imports(tree: ast.Module) -> tuple[set[str], set[str], set[str]]:
+        """Local names bound to numpy, stdlib random, and default_rng."""
+        numpy_aliases: set[str] = set()
+        random_aliases: set[str] = set()
+        bare_default_rng: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "random":
+                        random_aliases.add(alias.asname or "random")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module in ("numpy.random", "numpy.random._generator"):
+                    for alias in node.names:
+                        if alias.name == "default_rng":
+                            bare_default_rng.add(alias.asname or alias.name)
+        return numpy_aliases, random_aliases, bare_default_rng
+
+    def _check_call(
+        self,
+        ctx: ModuleContext,
+        node: ast.Call,
+        numpy_aliases: set[str],
+        random_aliases: set[str],
+        bare_default_rng: set[str],
+    ) -> Iterator[Violation]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in bare_default_rng:
+            if not node.args and not node.keywords:
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    "default_rng() without a seed is irreproducible; pass "
+                    "an explicit seed or Generator",
+                )
+            return
+
+        chain = attribute_chain(func)
+        if chain is None:
+            return
+        if len(chain) == 3 and chain[0] in numpy_aliases and chain[1] == "random":
+            attr = chain[2]
+            if attr == "default_rng":
+                if not node.args and not node.keywords:
+                    yield ctx.violation(
+                        node,
+                        self.id,
+                        "default_rng() without a seed is irreproducible; "
+                        "pass an explicit seed or Generator",
+                    )
+            elif attr not in _NP_RANDOM_ALLOWED:
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    f"np.random.{attr}() uses the unseeded global RNG; use "
+                    "a seeded np.random.default_rng(seed) Generator",
+                )
+        elif len(chain) == 2 and chain[0] in random_aliases:
+            attr = chain[1]
+            if attr == "Random" and (node.args or node.keywords):
+                return  # random.Random(seed) is explicitly seeded
+            yield ctx.violation(
+                node,
+                self.id,
+                f"random.{attr}() draws from the process-global stdlib RNG; "
+                "use a seeded generator instead",
+            )

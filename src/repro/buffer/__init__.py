@@ -1,5 +1,7 @@
 """Buffer pools: LRU (the paper's policy) plus ablation alternatives."""
 
+from __future__ import annotations
+
 from .base import BufferPool, BufferStats, PinningError
 from .lru import LRUBuffer
 from .policies import POLICIES, ClockBuffer, FIFOBuffer, RandomBuffer

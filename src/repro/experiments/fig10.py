@@ -21,6 +21,13 @@ from .table2 import DEFAULT_SIZES
 
 __all__ = ["Fig10Result", "run"]
 
+META = {
+    "name": "fig10",
+    "title": "Effect of pinning vs. data size (HS trees)",
+    "source": "Fig. 10",
+}
+"""Experiment metadata for the runner registry (rule RL004)."""
+
 DEFAULT_BUFFERS = (500, 1000, 2000)
 DEFAULT_PIN_LEVELS = (0, 1, 2, 3)
 CAPACITY = 25

@@ -24,6 +24,13 @@ from .common import Table, get_description
 
 __all__ = ["Fig11Result", "run"]
 
+META = {
+    "name": "fig11",
+    "title": "When pinning pays off: buffer-size and level sweeps",
+    "source": "Fig. 11",
+}
+"""Experiment metadata for the runner registry (rule RL004)."""
+
 DEFAULT_BUFFER_SIZES = (50, 75, 100, 150, 200, 300, 500, 750, 1000, 1500, 2000)
 DEFAULT_QUERY_SIDES = (0.0, 0.01, 0.025, 0.05, 0.075, 0.1, 0.125, 0.15)
 CAPACITY = 25

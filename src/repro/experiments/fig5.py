@@ -18,6 +18,13 @@ from .common import get_dataset
 
 __all__ = ["Fig5Result", "run"]
 
+META = {
+    "name": "fig5",
+    "title": "CFD-like data set density characterisation",
+    "source": "Fig. 5",
+}
+"""Experiment metadata for the runner registry (rule RL004)."""
+
 _GRID = 48
 
 

@@ -20,6 +20,13 @@ from .common import Table, get_description
 
 __all__ = ["Fig6Result", "run"]
 
+META = {
+    "name": "fig6",
+    "title": "Disk accesses vs. buffer size on the Long Beach data",
+    "source": "Fig. 6",
+}
+"""Experiment metadata for the runner registry (rule RL004)."""
+
 DEFAULT_BUFFER_SIZES = (2, 5, 10, 20, 50, 100, 150, 200, 300, 400, 500)
 DEFAULT_LOADERS = ("tat", "nx", "hs")
 CAPACITY = 100

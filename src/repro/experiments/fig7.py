@@ -20,6 +20,13 @@ from .uniform_vs_datadriven import (
 
 __all__ = ["run"]
 
+META = {
+    "name": "fig7",
+    "title": "Uniform vs. data-driven queries on the Long Beach data",
+    "source": "Fig. 7",
+}
+"""Experiment metadata for the runner registry (rule RL004)."""
+
 
 def run(buffer_sizes=DEFAULT_BUFFER_SIZES) -> UniformVsDataDrivenResult:
     """Reproduce Fig. 7 (Long Beach data)."""

@@ -19,6 +19,13 @@ from .uniform_vs_datadriven import (
 
 __all__ = ["run"]
 
+META = {
+    "name": "fig8",
+    "title": "Uniform vs. data-driven queries on the CFD data",
+    "source": "Fig. 8",
+}
+"""Experiment metadata for the runner registry (rule RL004)."""
+
 
 def run(buffer_sizes=DEFAULT_BUFFER_SIZES) -> UniformVsDataDrivenResult:
     """Reproduce Fig. 8 (CFD data)."""

@@ -22,6 +22,13 @@ from .common import Table, get_description
 
 __all__ = ["Fig9Result", "run"]
 
+META = {
+    "name": "fig9",
+    "title": "Disk accesses vs. data set size (synthetic region data)",
+    "source": "Fig. 9",
+}
+"""Experiment metadata for the runner registry (rule RL004)."""
+
 DEFAULT_SIZES = (10_000, 25_000, 50_000, 100_000, 150_000, 200_000, 300_000)
 DEFAULT_LOADERS = ("nx", "hs")
 DEFAULT_BUFFERS = (10, 300)

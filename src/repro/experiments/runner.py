@@ -51,13 +51,31 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
+    failed: list[str] = []
     for name in names:
         start = time.perf_counter()
-        result = EXPERIMENTS[name]()
+        try:
+            result = EXPERIMENTS[name]()
+        except Exception as exc:
+            elapsed = time.perf_counter() - start
+            print(
+                f"[{name} FAILED after {elapsed:.1f}s: "
+                f"{type(exc).__name__}: {exc}]",
+                file=sys.stderr,
+            )
+            failed.append(name)
+            continue
         elapsed = time.perf_counter() - start
         print(result.to_text())
         print(f"[{name} completed in {elapsed:.1f}s]")
         print()
+    if failed:
+        print(
+            f"{len(failed)} of {len(names)} experiment(s) failed: "
+            f"{', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -22,6 +22,13 @@ from .common import Table, get_description, sim_batches, sim_queries_per_batch
 
 __all__ = ["Table1Row", "Table1Result", "run"]
 
+META = {
+    "name": "table1",
+    "title": "Buffer-model validation against simulation",
+    "source": "Table 1",
+}
+"""Experiment metadata for the runner registry (rule RL004)."""
+
 DEFAULT_BUFFER_SIZES = (10, 50, 100, 200, 300, 500)
 DEFAULT_LOADERS = ("nx", "hs", "str")
 DATA_SIZE = 165_000

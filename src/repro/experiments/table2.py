@@ -16,6 +16,13 @@ from .common import Table, get_description
 
 __all__ = ["Table2Result", "run"]
 
+META = {
+    "name": "table2",
+    "title": "Nodes per level of the deep pinning-study trees",
+    "source": "Table 2",
+}
+"""Experiment metadata for the runner registry (rule RL004)."""
+
 DEFAULT_SIZES = (40_000, 80_000, 120_000, 160_000, 200_000, 250_000)
 CAPACITY = 25
 

@@ -1,6 +1,19 @@
 """Axis-parallel rectangle geometry (scalar and vectorised)."""
 
+from __future__ import annotations
+
 from .rect import GeometryError, Rect, mbr_of, unit_rect
 from .rectarray import RectArray
+from .tolerance import ABS_TOL, REL_TOL, isclose, near_zero
 
-__all__ = ["GeometryError", "Rect", "RectArray", "mbr_of", "unit_rect"]
+__all__ = [
+    "ABS_TOL",
+    "GeometryError",
+    "REL_TOL",
+    "Rect",
+    "RectArray",
+    "isclose",
+    "mbr_of",
+    "near_zero",
+    "unit_rect",
+]

@@ -1,0 +1,45 @@
+"""Tolerance helpers for floating-point comparisons.
+
+The model's quantities — areas, access probabilities, expected disk
+accesses — are sums of thousands of floating-point products, so exact
+``==``/``!=`` against another float is either dead code or a
+platform-dependent bug.  Rule RL001 of ``repro.analysis`` bans such
+comparisons in the geometry and model packages; these helpers are the
+sanctioned replacements.
+
+``ABS_TOL`` is far below any physically meaningful quantity in the
+reproduction (the smallest access probabilities the paper's setups
+produce are ~1e-7; page counts are integers) yet far above accumulated
+rounding noise for the ~1e6-term sums involved.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ABS_TOL", "REL_TOL", "isclose", "near_zero"]
+
+ABS_TOL = 1e-12
+"""Default absolute tolerance for near-zero tests."""
+
+REL_TOL = 1e-9
+"""Default relative tolerance for closeness tests."""
+
+
+def isclose(a: float, b: float, *, rel_tol: float = REL_TOL, abs_tol: float = ABS_TOL) -> bool:
+    """Tolerant equality: true when ``a`` and ``b`` agree to tolerance.
+
+    A thin wrapper over :func:`math.isclose` that bakes in the
+    repository-wide defaults, so call sites stay short and consistent.
+    """
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def near_zero(x: float, *, abs_tol: float = ABS_TOL) -> bool:
+    """True when ``x`` is indistinguishable from zero at tolerance.
+
+    Use for guard clauses before division by model quantities that are
+    exactly zero in degenerate regimes (e.g. ``EPT = 0`` when no node
+    is ever accessed) but may carry rounding dust otherwise.
+    """
+    return abs(x) <= abs_tol

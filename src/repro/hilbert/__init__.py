@@ -1,5 +1,7 @@
 """Hilbert space-filling curve indices (2-D fast path + d-dimensional)."""
 
+from __future__ import annotations
+
 from .curve import (
     DEFAULT_ORDER,
     hilbert_index,

@@ -9,6 +9,8 @@
 * :mod:`~repro.model.pinning` — pinned-level analysis helpers.
 """
 
+from __future__ import annotations
+
 from .access import (
     data_driven_probabilities,
     query_corner_domain,

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..buffer import PinningError
+from ..geometry import near_zero
 from ..rtree import TreeDescription
 
 __all__ = [
@@ -133,7 +134,7 @@ class BufferModelResult:
     @property
     def hit_ratio(self) -> float:
         """Steady-state buffer hit probability implied by the model."""
-        if self.node_accesses == 0.0:
+        if near_zero(self.node_accesses):
             return 1.0
         return 1.0 - self.disk_accesses / self.node_accesses
 

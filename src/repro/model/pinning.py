@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..geometry import near_zero
 from ..rtree import TreeDescription
 from .buffered import BufferModelResult, buffer_model
 
@@ -49,7 +50,7 @@ def pinning_improvement(
     """
     base = buffer_model(desc, workload, buffer_size, pinned_levels=0)
     pinned = buffer_model(desc, workload, buffer_size, pinned_levels=pinned_levels)
-    if base.disk_accesses == 0.0:
+    if near_zero(base.disk_accesses):
         return 0.0
     return (base.disk_accesses - pinned.disk_accesses) / base.disk_accesses
 

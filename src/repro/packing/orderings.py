@@ -81,35 +81,30 @@ def str_order(rects: RectArray, capacity: int) -> np.ndarray:
         raise ValueError("capacity must be positive")
     centers = rects.centers()
     n, dim = centers.shape
-    order = np.empty(n, dtype=np.int64)
-    _str_fill(order, np.arange(n, dtype=np.int64), centers, capacity, 0, dim, 0)
-    return order
+    return _str_ranked(np.arange(n, dtype=np.int64), centers, capacity, 0, dim)
 
 
-def _str_fill(
-    out: np.ndarray,
+def _str_ranked(
     idx: np.ndarray,
     centers: np.ndarray,
     capacity: int,
     axis: int,
     dim: int,
-    start: int,
-) -> int:
-    """Recursively write the STR ordering of ``idx`` into ``out[start:]``."""
+) -> np.ndarray:
+    """The STR ordering of ``idx``, recursing over the remaining axes."""
     ranked = idx[np.argsort(centers[idx, axis], kind="stable")]
     if axis == dim - 1:
-        out[start : start + len(ranked)] = ranked
-        return start + len(ranked)
+        return ranked
     n = len(ranked)
     pages = math.ceil(n / capacity)
     remaining_axes = dim - axis
     slabs = max(1, math.ceil(pages ** (1.0 / remaining_axes)))
     slab_size = math.ceil(n / slabs)
-    for lo in range(0, n, slab_size):
-        start = _str_fill(
-            out, ranked[lo : lo + slab_size], centers, capacity, axis + 1, dim, start
-        )
-    return start
+    parts = [
+        _str_ranked(ranked[lo : lo + slab_size], centers, capacity, axis + 1, dim)
+        for lo in range(0, n, slab_size)
+    ]
+    return np.concatenate(parts)
 
 
 ORDERINGS: dict[str, Ordering] = {

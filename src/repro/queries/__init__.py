@@ -1,5 +1,7 @@
 """Query workload distributions."""
 
+from __future__ import annotations
+
 from .mixed import MixedWorkload
 from .workloads import (
     DataDrivenWorkload,

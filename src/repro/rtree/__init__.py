@@ -1,5 +1,7 @@
 """Dynamic R-tree, split heuristics, and tree descriptions."""
 
+from __future__ import annotations
+
 from .node import Entry, Node
 from .split import SPLIT_FUNCTIONS, greene_split, linear_split, quadratic_split
 from .stats import TreeDescription

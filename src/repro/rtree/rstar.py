@@ -32,7 +32,7 @@ from .node import Entry, Node
 from .split import SPLIT_FUNCTIONS, _validate_split_input
 from .tree import RTree
 
-__all__ = ["RStarTree", "rstar_split"]
+__all__ = ["RStarTree", "rstar_split", "rstar_tree"]
 
 DEFAULT_REINSERT_FRACTION = 0.3
 """p = 30% of M+1 entries are reinserted on first overflow (R* paper)."""

@@ -1,5 +1,7 @@
 """LRU-buffer query simulation, batch means, and model validation."""
 
+from __future__ import annotations
+
 from .batchmeans import BatchMeansEstimate, batch_means
 from .engine import SimulationResult, simulate
 from .stats import (

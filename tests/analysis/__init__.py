@@ -1,0 +1,1 @@
+"""Tests for reprolint (repro.analysis): framework, rules, and gate."""

@@ -1,0 +1,35 @@
+"""Shared helpers for the reprolint tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Config, check_module
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).parents[2]
+
+
+def fixture_config(**overrides):
+    """A config whose path scopes select the fixture directory."""
+    base: dict[str, object] = dict(
+        float_eq_paths=("fixtures/",),
+        kernel_paths=("fixtures/",),
+        experiment_paths=("fixtures/",),
+        rng_helper_paths=(),
+    )
+    base.update(overrides)
+    return Config(**base)  # type: ignore[arg-type]
+
+
+def run_rule(rule_id: str, fixture: str, **overrides):
+    """Run exactly one rule over one fixture file."""
+    config = fixture_config(**overrides).override(select=(rule_id,))
+    return check_module(FIXTURES / fixture, config, root=REPO_ROOT)
+
+
+@pytest.fixture()
+def repo_root() -> Path:
+    return REPO_ROOT

@@ -1,0 +1,7 @@
+"""RL004 fixture: experiment module with no META and no run()."""
+
+__all__ = ["helper"]
+
+
+def helper():
+    return None

@@ -1,0 +1,6 @@
+"""RL004 fixture: runner that forgets to register its experiments."""
+
+EXPERIMENTS = {
+    "fig1": None,
+    # table1 is missing
+}

@@ -1,0 +1,17 @@
+"""RL004 fixture: META present but malformed."""
+
+__all__ = ["Result", "run"]
+
+META = {
+    "name": "table9",  # wrong: module is table1
+    "title": "Mismatched metadata",
+    # "source" missing entirely
+}
+
+
+class Result:
+    pass
+
+
+def run():
+    return Result()

@@ -1,0 +1,13 @@
+"""RL004 fixture: a fully registered, metadata-carrying experiment."""
+
+__all__ = ["run"]
+
+META = {
+    "name": "fig1",
+    "title": "A well-formed experiment",
+    "source": "Fig. 1",
+}
+
+
+def run():
+    return None

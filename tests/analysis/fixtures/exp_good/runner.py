@@ -1,0 +1,7 @@
+"""RL004 fixture: runner registering every sibling experiment."""
+
+from typing import Callable
+
+EXPERIMENTS: dict[str, Callable[[], object]] = {
+    "fig1": None,
+}

@@ -1,0 +1,9 @@
+"""RL001 fixture: float equality comparisons that must be flagged."""
+
+
+def check(area: float, ratio: float) -> bool:
+    if area == 0.0:  # line 5: ==
+        return True
+    if 1.0 != ratio:  # line 7: != with literal on the left
+        return False
+    return ratio == -1.0  # line 9: negated literal

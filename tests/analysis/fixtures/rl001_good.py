@@ -1,0 +1,10 @@
+"""RL001 fixture: comparisons the rule must leave alone."""
+
+
+def check(area: float, ratio: float, count: int) -> bool:
+    if area <= 0.0:  # ordering comparisons are fine
+        return True
+    if count == 0:  # integer literals are fine
+        return False
+    suppressed = area == 1.0  # reprolint: disable=RL001
+    return suppressed or ratio > 0.5

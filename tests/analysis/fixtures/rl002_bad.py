@@ -1,0 +1,15 @@
+"""RL002 fixture: unstable probability math that must be flagged."""
+
+import numpy as np
+
+
+def distinct_nodes(probs, n_queries):
+    return probs.size - np.sum((1 - probs) ** n_queries)  # pow, line 7
+
+
+def log_miss(probs):
+    return np.log(1.0 - probs)  # log(1 - p), line 11
+
+
+def miss_power(probs, n_queries):
+    return np.power(1 - probs, n_queries)  # power(1 - p, n), line 15

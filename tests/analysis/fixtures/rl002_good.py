@@ -1,0 +1,16 @@
+"""RL002 fixture: stable forms and exempt small exponents."""
+
+import numpy as np
+
+
+def distinct_nodes(probs, n_queries):
+    log_miss = np.log1p(-probs)  # the sanctioned spelling
+    return probs.size - np.sum(np.exp(n_queries * log_miss))
+
+
+def squared_complement(t):
+    return (1 - t) ** 2  # small constant exponent is exact
+
+
+def interpolate(a, b, t):
+    return a * (1.0 - t) + b * t  # no power at all

@@ -1,0 +1,23 @@
+"""RL003 fixture: kernels that mutate parameters or global state."""
+
+COUNTER = 0
+
+
+def write_into_param(out, values):
+    out[: len(values)] = values  # subscript store into a parameter
+    return out
+
+
+def inplace_sort(items):
+    items.sort()  # in-place mutator method on a parameter
+    return items
+
+
+def set_attribute(node, mbr):
+    node.mbr = mbr  # attribute store into a parameter
+    return node
+
+
+def bump_counter():
+    global COUNTER  # module state from inside a kernel
+    COUNTER += 1

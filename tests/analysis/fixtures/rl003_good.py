@@ -1,0 +1,21 @@
+"""RL003 fixture: pure kernels the rule must accept."""
+
+
+def copy_then_own(lo, hi):
+    lo = list(lo)  # plain rebinding: the copy-then-own idiom
+    hi = list(hi)
+    lo[0] = min(lo[0], hi[0])
+    return lo, hi
+
+
+def fresh_result(values):
+    out = [0.0] * len(values)  # locals may be mutated freely
+    for i, v in enumerate(values):
+        out[i] = v * 2.0
+    return out
+
+
+class Carrier:
+    def __init__(self, lo, hi):
+        self.lo = lo  # `self` is exempt: constructors own the instance
+        self.hi = hi

@@ -1,0 +1,11 @@
+"""RL005 fixture: broken __all__ hygiene."""
+
+__all__ = ["exported_fn", "ghost_name", "exported_fn"]
+
+
+def exported_fn():
+    return 1
+
+
+def forgotten_fn():  # public but missing from __all__
+    return 2

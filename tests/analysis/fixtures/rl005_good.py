@@ -1,0 +1,19 @@
+"""RL005 fixture: clean __all__ hygiene."""
+
+from math import sqrt
+
+__all__ = ["Shape", "area", "sqrt"]
+
+PRIVATE_CONSTANT = 42  # public assignments need not be exported
+
+
+class Shape:
+    pass
+
+
+def area(shape):
+    return sqrt(float(shape))
+
+
+def _helper():
+    return None

@@ -1,0 +1,5 @@
+"""RL005 fixture: public defs but no __all__ at all."""
+
+
+def public_without_all():
+    return 3

@@ -1,0 +1,9 @@
+"""RL006 fixture: citing an equation the paper does not define.
+
+The buffer model is Eq. 17 of the paper, and Eqs. 40-42 expand it.
+"""
+
+
+def model():
+    """Implements Eq. 99."""
+    return None

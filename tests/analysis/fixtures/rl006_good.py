@@ -1,0 +1,13 @@
+"""RL006 fixture: valid equation citations.
+
+``D(N)`` is Eq. 5 and ``ED`` is Eq. 6; together they are Eqs. 5-6.
+"""
+
+
+def distinct(probs, n):
+    """Eq. 5 of the paper (see also Eq. 2 for the bufferless case)."""
+    return None
+
+
+class Model:
+    """Covers Eqs. 1-4 plus the equipment list (not an Eq reference)."""

@@ -1,0 +1,29 @@
+"""RL007 fixture: nondeterminism that must be flagged."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def unseeded_generator():
+    return default_rng()  # no seed: irreproducible
+
+
+def unseeded_np_attr():
+    return np.random.default_rng()  # no seed via attribute access
+
+
+def legacy_global_rng(n):
+    return np.random.rand(n)  # legacy global RNG
+
+
+def stdlib_random():
+    return random.random()  # process-global stdlib RNG
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except:  # bare except
+        return None

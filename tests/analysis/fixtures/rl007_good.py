@@ -1,0 +1,29 @@
+"""RL007 fixture: seeded, explicit randomness and targeted excepts."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def seeded_generator(seed):
+    return default_rng(seed)
+
+
+def seeded_np_attr():
+    return np.random.default_rng(1998)
+
+
+def seeded_stdlib(seed):
+    return random.Random(seed)  # explicitly seeded instance is fine
+
+
+def draw(rng: np.random.Generator, n: int):
+    return rng.random(n)  # methods on a passed-in Generator are fine
+
+
+def targeted_except(fn):
+    try:
+        return fn()
+    except ValueError:
+        return None

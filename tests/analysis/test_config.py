@@ -1,0 +1,99 @@
+"""Config loading: pyproject table, fallback parser, overrides."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Config, find_pyproject, load_config
+from repro.analysis.config import _parse_table_fallback
+
+SAMPLE = """\
+[project]
+name = "demo"
+
+[tool.repro.analysis]
+paths = ["src", "extra"]
+exclude = [
+    "tests/analysis/fixtures",
+    "build",
+]
+ignore = ["RL006"]
+float-eq-paths = ["repro/geometry/"]
+
+[tool.other]
+paths = ["nope"]
+"""
+
+
+class TestLoadConfig:
+    def test_repo_pyproject_round_trip(self, repo_root):
+        config = load_config(repo_root / "pyproject.toml")
+        assert config.paths == ("src",)
+        assert "tests/analysis/fixtures" in config.exclude
+        assert config.float_eq_paths == ("repro/geometry/", "repro/model/")
+        assert config.kernel_paths == ("repro/geometry/", "repro/packing/")
+
+    def test_missing_file_yields_defaults(self, tmp_path):
+        assert load_config(tmp_path / "nope.toml") == Config()
+        assert load_config(None) == Config()
+
+    def test_sample_table(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(SAMPLE, encoding="utf-8")
+        config = load_config(pyproject)
+        assert config.paths == ("src", "extra")
+        assert config.exclude == ("tests/analysis/fixtures", "build")
+        assert config.ignore == ("RL006",)
+        assert config.float_eq_paths == ("repro/geometry/",)
+        # keys from other tables must not leak in
+        assert config.kernel_paths == Config().kernel_paths
+
+    def test_unknown_key_rejected(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro.analysis]\nbogus = true\n", encoding="utf-8"
+        )
+        with pytest.raises(ValueError, match="unknown reprolint config key"):
+            load_config(pyproject)
+
+
+class TestFallbackParser:
+    """The 3.10 path: no tomllib, a hand-rolled table reader."""
+
+    def test_matches_tomllib_for_the_sample(self):
+        parsed = _parse_table_fallback(SAMPLE, "tool.repro.analysis")
+        assert parsed == {
+            "paths": ["src", "extra"],
+            "exclude": ["tests/analysis/fixtures", "build"],
+            "ignore": ["RL006"],
+            "float-eq-paths": ["repro/geometry/"],
+        }
+
+    def test_matches_tomllib_for_repo_pyproject(self, repo_root):
+        tomllib = pytest.importorskip("tomllib")
+        text = (repo_root / "pyproject.toml").read_text(encoding="utf-8")
+        expected = tomllib.loads(text)["tool"]["repro"]["analysis"]
+        assert _parse_table_fallback(text, "tool.repro.analysis") == expected
+
+    def test_config_from_fallback_equals_config_from_tomllib(self, repo_root):
+        text = (repo_root / "pyproject.toml").read_text(encoding="utf-8")
+        via_fallback = Config.from_mapping(
+            _parse_table_fallback(text, "tool.repro.analysis")
+        )
+        assert via_fallback == load_config(repo_root / "pyproject.toml")
+
+
+class TestFindPyproject:
+    def test_walks_up_to_repo_root(self, repo_root):
+        nested = repo_root / "tests" / "analysis"
+        assert find_pyproject(nested) == repo_root / "pyproject.toml"
+
+    def test_none_when_absent(self, tmp_path):
+        assert find_pyproject(tmp_path) is None
+
+
+class TestOverride:
+    def test_override_replaces_only_named_fields(self):
+        config = Config().override(select=("RL001",))
+        assert config.select == ("RL001",)
+        assert config.paths == Config().paths

@@ -1,0 +1,124 @@
+"""Framework tests: pragmas, violations, registry, file walking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Config, Violation, check_module, registry, run_analysis
+from repro.analysis.core import Rule, RuleRegistry
+
+
+class TestViolation:
+    def test_format_is_greppable(self):
+        violation = Violation(
+            path="src/repro/model/buffered.py",
+            line=42,
+            col=5,
+            rule_id="RL001",
+            message="float `==` comparison",
+        )
+        assert (
+            violation.format()
+            == "src/repro/model/buffered.py:42:5 RL001 float `==` comparison"
+        )
+
+    def test_to_dict_round_trips_fields(self):
+        violation = Violation("a.py", 1, 2, "RL002", "msg")
+        assert violation.to_dict() == {
+            "path": "a.py",
+            "line": 1,
+            "col": 2,
+            "rule": "RL002",
+            "message": "msg",
+        }
+
+    def test_ordering_is_by_path_then_line(self):
+        first = Violation("a.py", 1, 1, "RL002", "x")
+        second = Violation("a.py", 9, 1, "RL001", "x")
+        third = Violation("b.py", 1, 1, "RL001", "x")
+        assert sorted([third, second, first]) == [first, second, third]
+
+
+class TestPragmas:
+    def _check(self, tmp_path, source):
+        path = tmp_path / "mod.py"
+        path.write_text(source, encoding="utf-8")
+        config = Config(float_eq_paths=("",), select=("RL001",))
+        return check_module(path, config, root=tmp_path)
+
+    def test_line_pragma_suppresses_only_its_line(self, tmp_path):
+        source = (
+            "def f(x):\n"
+            "    a = x == 1.0  # reprolint: disable=RL001\n"
+            "    return x == 2.0 or a\n"
+        )
+        violations = self._check(tmp_path, source)
+        assert [v.line for v in violations] == [3]
+
+    def test_file_pragma_suppresses_whole_module(self, tmp_path):
+        source = (
+            "# reprolint: disable-file=RL001\n"
+            "def f(x):\n"
+            "    return x == 1.0\n"
+        )
+        assert self._check(tmp_path, source) == []
+
+    def test_disable_all_suppresses_every_rule(self, tmp_path):
+        source = "def f(x):\n    return x == 1.0  # reprolint: disable=all\n"
+        assert self._check(tmp_path, source) == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self, tmp_path):
+        source = "def f(x):\n    return x == 1.0  # reprolint: disable=RL002\n"
+        assert len(self._check(tmp_path, source)) == 1
+
+
+class TestRegistry:
+    def test_all_seven_rules_registered(self):
+        ids = [rule.id for rule in registry.all_rules()]
+        assert ids == [f"RL00{i}" for i in range(1, 8)]
+
+    def test_duplicate_registration_rejected(self):
+        fresh = RuleRegistry()
+
+        class Dummy(Rule):
+            id = "RL999"
+
+        fresh.register(Dummy)
+        with pytest.raises(ValueError, match="duplicate"):
+            fresh.register(Dummy)
+
+    def test_select_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            registry.selected(Config(select=("RL999",)))
+
+    def test_ignore_removes_rule(self):
+        rules = registry.selected(Config(ignore=("RL001",)))
+        assert "RL001" not in [rule.id for rule in rules]
+
+
+class TestRunAnalysis:
+    def test_syntax_error_reported_as_e001(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n", encoding="utf-8")
+        violations, n_files = run_analysis([path], Config(), root=tmp_path)
+        assert n_files == 1
+        assert violations[0].rule_id == "E001"
+        assert "syntax error" in violations[0].message
+
+    def test_exclude_fragments_skip_files(self, tmp_path):
+        (tmp_path / "keep.py").write_text("x = 1\n", encoding="utf-8")
+        skipped = tmp_path / "skipme"
+        skipped.mkdir()
+        (skipped / "gone.py").write_text("x == 1.0\n", encoding="utf-8")
+        config = Config(exclude=("skipme",))
+        _, n_files = run_analysis([tmp_path], config, root=tmp_path)
+        assert n_files == 1
+
+    def test_results_are_sorted_and_deterministic(self, tmp_path):
+        (tmp_path / "b.py").write_text("def pub():\n    pass\n", encoding="utf-8")
+        (tmp_path / "a.py").write_text("def pub():\n    pass\n", encoding="utf-8")
+        config = Config(select=("RL005",))
+        first, _ = run_analysis([tmp_path], config, root=tmp_path)
+        second, _ = run_analysis([tmp_path], config, root=tmp_path)
+        assert first == second
+        assert [v.path for v in first] == ["a.py", "b.py"]

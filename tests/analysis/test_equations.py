@@ -1,0 +1,43 @@
+"""The paper-equation map, and its consistency with docs/MODEL.md."""
+
+from __future__ import annotations
+
+from repro.analysis import PAPER_EQUATIONS, known_equation
+from repro.analysis.rules.rl006_equation_refs import iter_equation_numbers
+
+
+class TestEquationMap:
+    def test_covers_the_papers_numbering(self):
+        assert sorted(PAPER_EQUATIONS) == [1, 2, 3, 4, 5, 6]
+
+    def test_statements_name_the_key_quantities(self):
+        assert "D(N)" in PAPER_EQUATIONS[5]
+        assert "ED" in PAPER_EQUATIONS[6]
+
+    def test_known_equation(self):
+        assert known_equation(5)
+        assert not known_equation(99)
+
+
+class TestReferenceScanner:
+    def test_single_and_range_references(self):
+        text = "See Eq. 2 and Eqs. 5-6; also Eqs. 1–3 (en dash)."
+        assert sorted(set(iter_equation_numbers(text))) == [1, 2, 3, 5, 6]
+
+    def test_ignores_non_references(self):
+        assert list(iter_equation_numbers("equipment list, Eq 5 without dot")) == []
+
+
+class TestModelDocConsistency:
+    def test_model_md_cites_only_mapped_equations(self, repo_root):
+        text = (repo_root / "docs" / "MODEL.md").read_text(encoding="utf-8")
+        cited = set(iter_equation_numbers(text))
+        assert cited, "MODEL.md should cite at least one equation"
+        unknown = cited - set(PAPER_EQUATIONS)
+        assert not unknown, f"MODEL.md cites unmapped equations: {sorted(unknown)}"
+
+    def test_analysis_doc_cites_only_mapped_equations(self, repo_root):
+        doc = repo_root / "docs" / "ANALYSIS.md"
+        cited = set(iter_equation_numbers(doc.read_text(encoding="utf-8")))
+        unknown = cited - set(PAPER_EQUATIONS)
+        assert not unknown, f"ANALYSIS.md cites unmapped equations: {sorted(unknown)}"

@@ -1,0 +1,136 @@
+"""Positive and negative fixture tests for every RL rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from .conftest import run_rule
+
+
+def lines(violations):
+    return sorted(v.line for v in violations)
+
+
+class TestRL001FloatEquality:
+    def test_flags_float_literal_comparisons(self):
+        violations = run_rule("RL001", "rl001_bad.py")
+        assert [v.rule_id for v in violations] == ["RL001"] * 3
+        assert lines(violations) == [5, 7, 9]
+
+    def test_accepts_ordering_int_and_pragma(self):
+        assert run_rule("RL001", "rl001_good.py") == []
+
+    def test_scoped_to_configured_paths(self):
+        violations = run_rule(
+            "RL001", "rl001_bad.py", float_eq_paths=("repro/geometry/",)
+        )
+        assert violations == []
+
+
+class TestRL002ProbabilityStability:
+    def test_flags_pow_log_and_power(self):
+        violations = run_rule("RL002", "rl002_bad.py")
+        assert [v.rule_id for v in violations] == ["RL002"] * 3
+        assert lines(violations) == [7, 11, 15]
+        messages = " ".join(v.message for v in violations)
+        assert "log1p" in messages
+
+    def test_accepts_log1p_and_small_exponents(self):
+        assert run_rule("RL002", "rl002_good.py") == []
+
+
+class TestRL003KernelPurity:
+    def test_flags_mutation_and_global(self):
+        violations = run_rule("RL003", "rl003_bad.py")
+        assert len(violations) == 4
+        messages = [v.message for v in violations]
+        assert any("writes into parameter `out`" in m for m in messages)
+        assert any("items.sort()" in m for m in messages)
+        assert any("writes into parameter `node`" in m for m in messages)
+        assert any("`global`" in m for m in messages)
+
+    def test_accepts_copy_then_own_and_locals(self):
+        assert run_rule("RL003", "rl003_good.py") == []
+
+    def test_scoped_to_kernel_paths(self):
+        assert (
+            run_rule("RL003", "rl003_bad.py", kernel_paths=("repro/geometry/",))
+            == []
+        )
+
+
+class TestRL004ExperimentRegistration:
+    def test_flags_missing_meta_and_run(self):
+        violations = run_rule("RL004", "exp_bad/fig1.py")
+        messages = [v.message for v in violations]
+        assert len(violations) == 3
+        assert any("lacks a module-level META" in m for m in messages)
+        assert any("lacks a top-level run()" in m for m in messages)
+        assert any("__all__ must export `run`" in m for m in messages)
+
+    def test_flags_malformed_meta(self):
+        violations = run_rule("RL004", "exp_bad/table1.py")
+        messages = [v.message for v in violations]
+        assert len(violations) == 2
+        assert any("missing required key 'source'" in m for m in messages)
+        assert any("META['name'] is 'table9'" in m for m in messages)
+
+    def test_flags_unregistered_experiment_in_runner(self):
+        violations = run_rule("RL004", "exp_bad/runner.py")
+        assert len(violations) == 1
+        assert "'table1' is not registered" in violations[0].message
+
+    @pytest.mark.parametrize("fixture", ["exp_good/fig1.py", "exp_good/runner.py"])
+    def test_accepts_registered_experiments(self, fixture):
+        assert run_rule("RL004", fixture) == []
+
+
+class TestRL005AllHygiene:
+    def test_flags_ghost_duplicate_and_missing_export(self):
+        violations = run_rule("RL005", "rl005_bad.py")
+        messages = [v.message for v in violations]
+        assert len(violations) == 3
+        assert any("more than once" in m for m in messages)
+        assert any("'ghost_name'" in m for m in messages)
+        assert any("`forgotten_fn` is missing" in m for m in messages)
+
+    def test_flags_module_without_all(self):
+        violations = run_rule("RL005", "rl005_missing.py")
+        assert len(violations) == 1
+        assert "no __all__" in violations[0].message
+
+    def test_accepts_clean_module(self):
+        assert run_rule("RL005", "rl005_good.py") == []
+
+
+class TestRL006EquationReferences:
+    def test_flags_unknown_equations(self):
+        violations = run_rule("RL006", "rl006_bad.py")
+        cited = sorted(
+            int(v.message.split("Eq. ")[1].split(",")[0]) for v in violations
+        )
+        assert cited == [17, 40, 41, 42, 99]
+
+    def test_accepts_known_equations_and_ranges(self):
+        assert run_rule("RL006", "rl006_good.py") == []
+
+
+class TestRL007Determinism:
+    def test_flags_unseeded_rngs_and_bare_except(self):
+        violations = run_rule("RL007", "rl007_bad.py")
+        messages = [v.message for v in violations]
+        assert len(violations) == 5
+        assert sum("without a seed" in m for m in messages) == 2
+        assert any("np.random.rand()" in m for m in messages)
+        assert any("random.random()" in m for m in messages)
+        assert any("bare `except:`" in m for m in messages)
+
+    def test_accepts_seeded_randomness(self):
+        assert run_rule("RL007", "rl007_good.py") == []
+
+    def test_rng_helper_paths_exempt_seeding_but_not_excepts(self):
+        violations = run_rule(
+            "RL007", "rl007_bad.py", rng_helper_paths=("fixtures/",)
+        )
+        assert len(violations) == 1
+        assert "bare `except:`" in violations[0].message

@@ -228,3 +228,26 @@ class TestRunner:
     def test_main_rejects_unknown(self, capsys):
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+    def test_main_returns_nonzero_on_experiment_failure(self, monkeypatch, capsys):
+        def boom():
+            raise RuntimeError("simulated crash")
+
+        monkeypatch.setitem(EXPERIMENTS, "fig5", boom)
+        assert main(["fig5"]) == 1
+        err = capsys.readouterr().err
+        assert "fig5 FAILED" in err
+        assert "simulated crash" in err
+        assert "1 of 1 experiment(s) failed" in err
+
+    def test_main_failure_does_not_abort_later_experiments(
+        self, monkeypatch, capsys
+    ):
+        def boom():
+            raise ValueError("bad input")
+
+        monkeypatch.setitem(EXPERIMENTS, "fig5", boom)
+        assert main(["fig5", "table2"]) == 1
+        captured = capsys.readouterr()
+        assert "fig5 FAILED" in captured.err
+        assert "table2 completed" in captured.out

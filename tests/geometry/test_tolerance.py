@@ -1,0 +1,43 @@
+"""Tests for the tolerance helpers sanctioned by rule RL001."""
+
+from __future__ import annotations
+
+from repro.geometry import ABS_TOL, REL_TOL, isclose, near_zero
+
+
+class TestIsclose:
+    def test_exact_equality(self):
+        assert isclose(0.3, 0.3)
+
+    def test_accumulated_rounding_noise(self):
+        # The classic case RL001 exists to prevent: 0.1 + 0.2 != 0.3.
+        assert 0.1 + 0.2 != 0.3
+        assert isclose(0.1 + 0.2, 0.3)
+
+    def test_relative_tolerance_scales_with_magnitude(self):
+        big = 1e12
+        assert isclose(big, big * (1 + REL_TOL / 2))
+        assert not isclose(big, big * (1 + REL_TOL * 10))
+
+    def test_distinct_values_are_not_close(self):
+        assert not isclose(1.0, 1.001)
+
+    def test_tolerances_overridable(self):
+        assert isclose(1.0, 1.001, rel_tol=1e-2)
+
+
+class TestNearZero:
+    def test_zero(self):
+        assert near_zero(0.0)
+        assert near_zero(-0.0)
+
+    def test_rounding_dust(self):
+        assert near_zero(ABS_TOL / 2)
+        assert near_zero(-ABS_TOL / 2)
+
+    def test_meaningful_quantities_are_not_zero(self):
+        # Smallest access probabilities in the paper's setups are ~1e-7.
+        assert not near_zero(1e-7)
+
+    def test_tolerance_overridable(self):
+        assert near_zero(1e-7, abs_tol=1e-6)

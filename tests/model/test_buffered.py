@@ -81,6 +81,44 @@ class TestQueriesToFillBuffer:
         assert fills == sorted(fills)
 
 
+class TestFillBufferEdgeCases:
+    """The corners of N*: p = 1 nodes, unfillable buffers, the search cap."""
+
+    def test_probability_one_nodes_fill_on_first_query(self):
+        # Every query touches every node, so D(1) == buffer_pages exactly.
+        assert queries_to_fill_buffer(np.ones(4), 4) == 1
+
+    def test_probability_one_node_with_cold_tail(self):
+        # The hot node is resident after one query; the cold tail
+        # determines how long the rest of the buffer takes to fill.
+        probs = np.array([1.0, 1e-3, 1e-3])
+        n_star = queries_to_fill_buffer(probs, 2)
+        assert n_star is not None
+        assert expected_distinct_nodes(probs, n_star) >= 2
+        assert expected_distinct_nodes(probs, n_star - 1) < 2
+
+    def test_zero_queries_touch_nothing_even_at_probability_one(self):
+        assert expected_distinct_nodes(np.array([1.0, 1.0]), 0) == 0.0
+
+    def test_search_cap_returns_none(self):
+        # D(N) -> 1 requires N ~ ln(2)/1e-19 ~ 6.9e18 queries, beyond
+        # the 2**62 search cap: the model treats this buffer as never
+        # filling rather than binary-searching astronomical N.
+        assert queries_to_fill_buffer(np.array([1e-19, 1e-19]), 1) is None
+
+    def test_just_under_the_cap_still_resolves(self):
+        # Same shape but p = 1e-18: N* ~ 6.9e17 < 2**62, so the search
+        # must complete and satisfy the defining inequality.
+        probs = np.array([1e-18, 1e-18])
+        n_star = queries_to_fill_buffer(probs, 1)
+        assert n_star is not None
+        assert expected_distinct_nodes(probs, n_star) >= 1.0
+        assert expected_distinct_nodes(probs, n_star - 1) < 1.0
+
+    def test_all_zero_probabilities_never_fill(self):
+        assert queries_to_fill_buffer(np.zeros(8), 1) is None
+
+
 class TestSteadyState:
     def test_zero_warmup_means_all_misses(self):
         probs = np.array([0.3, 0.4])
