@@ -1,0 +1,49 @@
+"""Benchmark guard: the no-op observability path costs ~nothing.
+
+Two pytest-benchmark cases drive the same LRU request stream with and
+without a :class:`~repro.obs.NullSink` attached, plus one with the
+real per-level sink for scale.  Run with::
+
+    pytest benchmarks/test_obs_overhead.py --benchmark-only
+
+The assertion mirrors ``tests/obs/test_overhead.py`` (kept there too
+so tier-1 enforces it without the benchmark plugin's orchestration).
+"""
+
+from __future__ import annotations
+
+from repro.buffer import LRUBuffer
+from repro.obs import LevelStatsTable, NullSink
+
+_PAGES = [i % 80 for i in range(5000)]
+_OFFSETS = (0, 1, 10, 80)
+
+
+def _drive(sink) -> int:
+    pool = LRUBuffer(32)
+    pool.sink = sink
+    request = pool.request
+    misses = 0
+    for page in _PAGES:
+        if not request(page):
+            misses += 1
+    return misses
+
+
+def test_request_loop_no_sink(benchmark):
+    misses = benchmark(_drive, None)
+    assert misses > 0
+
+
+def test_request_loop_null_sink(benchmark):
+    misses = benchmark(_drive, NullSink())
+    assert misses == _drive(None)  # identical behaviour
+
+
+def test_request_loop_level_sink(benchmark):
+    table = LevelStatsTable(_OFFSETS)
+    misses = benchmark(_drive, table)
+    assert misses == _drive(None)
+    totals = table.totals()
+    assert totals.requests > 0
+    assert totals.hits + totals.misses == totals.requests

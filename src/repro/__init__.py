@@ -42,6 +42,14 @@ from .datasets import (
     tiger_like,
 )
 from .geometry import GeometryError, Rect, RectArray, mbr_of, unit_rect
+from .obs import (
+    LevelStats,
+    LevelStatsTable,
+    MetricsRegistry,
+    NullSink,
+    QueryTrace,
+    QueryTraceEntry,
+)
 from .model import (
     BufferModelResult,
     buffer_model,
@@ -102,8 +110,14 @@ __all__ = [
     "InvariantViolation",
     "LOADERS",
     "LRUBuffer",
+    "LevelStats",
+    "LevelStatsTable",
+    "MetricsRegistry",
     "MixedWorkload",
+    "NullSink",
     "PinningError",
+    "QueryTrace",
+    "QueryTraceEntry",
     "QueryResult",
     "QueryWorkload",
     "RStarTree",

@@ -46,6 +46,24 @@ class BufferStats:
         self.misses = 0
         self.evictions = 0
 
+    def snapshot(self) -> "BufferStats":
+        """An independent copy of the current counter values."""
+        copy = BufferStats()
+        copy.requests = self.requests
+        copy.hits = self.hits
+        copy.misses = self.misses
+        copy.evictions = self.evictions
+        return copy
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a JSON-ready mapping."""
+        return {
+            "requests": self.requests,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"BufferStats(requests={self.requests}, hits={self.hits}, "
@@ -75,6 +93,14 @@ class BufferPool(ABC):
         self.capacity = capacity
         self.pinned = pinned_set
         self.stats = BufferStats()
+        self.sink = None
+        """Optional observability sink (see :mod:`repro.obs.levels`).
+
+        Any object with ``record_hit(page)``, ``record_pin_hit(page)``
+        and ``record_miss(page, evicted)`` methods; ``None`` (the
+        default) keeps :meth:`request` on the uninstrumented fast
+        path — a single ``is not None`` test per call.
+        """
 
     # ------------------------------------------------------------------
     # Public interface
@@ -92,20 +118,29 @@ class BufferPool(ABC):
         capacity is zero, missed pages are read and immediately
         discarded — every unpinned access is then a disk access.
         """
-        self.stats.requests += 1
+        stats = self.stats
+        sink = self.sink
+        stats.requests += 1
         if page in self.pinned:
-            self.stats.hits += 1
+            stats.hits += 1
+            if sink is not None:
+                sink.record_pin_hit(page)
             return True
         if self._resident(page):
-            self.stats.hits += 1
+            stats.hits += 1
             self._touch(page)
+            if sink is not None:
+                sink.record_hit(page)
             return True
-        self.stats.misses += 1
+        stats.misses += 1
+        evicted: PageId | None = None
         if self.unpinned_capacity > 0:
             if self._resident_count() >= self.unpinned_capacity:
-                self._evict()
-                self.stats.evictions += 1
+                evicted = self._evict()
+                stats.evictions += 1
             self._admit(page)
+        if sink is not None:
+            sink.record_miss(page, evicted)
         return False
 
     def is_full(self) -> bool:

@@ -1,0 +1,144 @@
+"""Instrumented probe simulations backing ``--metrics-out``.
+
+Most experiments evaluate the *analytical* buffer model, which has no
+buffer pool and therefore no per-level counters to export.  A *probe*
+is a small instrumented simulation run alongside an experiment with a
+representative configuration — same data set family, node capacity
+and query model as the experiment, smoke-sized batch budget — whose
+per-level hit/miss/eviction breakdown, per-batch counters, and query
+trace populate the ``simulation`` section of the experiment's metrics
+document (see ``docs/OBSERVABILITY.md``).
+
+Probes deliberately use the fast bulk loaders (HS) rather than TAT so
+that ``--metrics-out`` adds seconds, not minutes, to a run; the tree
+descriptions are shared with the experiments through the
+:func:`~repro.experiments.common.get_description` cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..geometry import RectArray
+from ..obs import MetricsRegistry
+from ..queries import (
+    DataDrivenWorkload,
+    UniformPointWorkload,
+    UniformRegionWorkload,
+)
+from ..simulation import SimulationResult, simulate
+from .common import get_dataset, get_description
+
+__all__ = ["METRICS_PROBES", "ProbeSpec", "run_probe"]
+
+WorkloadFactory = Callable[[RectArray], object]
+
+
+def _point(data: RectArray) -> object:
+    return UniformPointWorkload()
+
+
+def _region_1pct(data: RectArray) -> object:
+    return UniformRegionWorkload((0.1, 0.1))
+
+
+def _data_driven_point(data: RectArray) -> object:
+    return DataDrivenWorkload.from_rects(data)
+
+
+_WORKLOAD_FACTORIES: dict[str, WorkloadFactory] = {
+    "uniform-point": _point,
+    "uniform-region-1pct": _region_1pct,
+    "data-driven-point": _data_driven_point,
+}
+
+
+@dataclass(frozen=True)
+class ProbeSpec:
+    """Configuration of one experiment's metrics probe."""
+
+    dataset: str
+    """Data set family (``tiger`` / ``cfd`` / ``region`` / ``point``)."""
+    n: int | None
+    """Data set size (``None`` for the family's default)."""
+    capacity: int
+    """R-tree node capacity (entries per page)."""
+    loader: str
+    """Loading algorithm for the probed tree (a fast bulk loader)."""
+    workload: str
+    """Workload key: ``uniform-point``, ``uniform-region-1pct`` or
+    ``data-driven-point``."""
+    buffer_size: int
+    """Buffer capacity in pages."""
+    pinned_levels: int = 0
+    """Top tree levels pinned in the buffer (§3.3)."""
+
+    def as_dict(self) -> dict[str, Any]:
+        """The spec as the document's ``simulation.probe`` mapping."""
+        return {
+            "dataset": self.dataset,
+            "n": self.n,
+            "capacity": self.capacity,
+            "loader": self.loader,
+            "workload": self.workload,
+            "buffer_size": self.buffer_size,
+            "pinned_levels": self.pinned_levels,
+        }
+
+
+METRICS_PROBES: dict[str, ProbeSpec] = {
+    "table1": ProbeSpec("region", 165_000, 100, "hs", "uniform-point", 100),
+    "table2": ProbeSpec("point", 40_000, 25, "hs", "uniform-point", 100),
+    "fig5": ProbeSpec("cfd", None, 100, "hs", "data-driven-point", 100),
+    "fig6": ProbeSpec("tiger", None, 100, "hs", "uniform-region-1pct", 100),
+    "fig7": ProbeSpec("tiger", None, 100, "hs", "data-driven-point", 100),
+    "fig8": ProbeSpec("cfd", None, 100, "hs", "data-driven-point", 100),
+    "fig9": ProbeSpec("region", 25_000, 100, "hs", "uniform-point", 300),
+    "fig10": ProbeSpec("point", 80_000, 25, "hs", "uniform-point", 500, 3),
+    "fig11": ProbeSpec("tiger", None, 25, "hs", "uniform-point", 500, 3),
+}
+"""One probe per registered experiment, mirroring its data set,
+node capacity and query model (fast loaders only)."""
+
+
+def run_probe(
+    spec: ProbeSpec,
+    registry: MetricsRegistry,
+    *,
+    n_batches: int = 5,
+    batch_size: int = 2000,
+    trace_last: int = 8,
+) -> tuple[SimulationResult, dict[str, Any]]:
+    """Run one instrumented probe simulation.
+
+    Returns the :class:`~repro.simulation.SimulationResult` (with
+    ``level_stats``, ``batch_stats`` and ``trace`` populated) and the
+    probe-configuration mapping destined for the document's
+    ``simulation.probe`` field.  Deterministic: the simulator's
+    default seed and the cached data sets pin every random stream.
+    """
+    try:
+        factory = _WORKLOAD_FACTORIES[spec.workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown probe workload {spec.workload!r}; "
+            f"choices: {sorted(_WORKLOAD_FACTORIES)}"
+        ) from None
+    data = get_dataset(spec.dataset, spec.n)
+    desc = get_description(spec.dataset, spec.n, spec.capacity, spec.loader)
+    workload = factory(data)
+    result = simulate(
+        desc,
+        workload,
+        spec.buffer_size,
+        pinned_levels=spec.pinned_levels,
+        n_batches=n_batches,
+        batch_size=batch_size,
+        registry=registry,
+        trace_last=trace_last,
+    )
+    probe = spec.as_dict()
+    probe["n_batches"] = n_batches
+    probe["batch_size"] = batch_size
+    return result, probe

@@ -4,6 +4,11 @@ Runs any of the paper's tables/figures and prints the regenerated
 rows/series.  ``repro-experiments all`` runs everything (Table 1 is
 the slow one — it simulates; its budget is controlled by the
 ``REPRO_SIM_BATCHES`` / ``REPRO_SIM_QUERIES`` environment variables).
+
+``--metrics-out PATH`` additionally writes one ``repro-metrics`` JSON
+document per experiment — its result data, wall-clock timing, and an
+instrumented probe simulation's per-level buffer breakdown and query
+trace (see ``docs/OBSERVABILITY.md`` for the schema).
 """
 
 from __future__ import annotations
@@ -13,7 +18,15 @@ import sys
 import time
 from typing import Callable
 
+from ..obs import (
+    MetricsRegistry,
+    experiment_document,
+    metrics_report,
+    simulation_section,
+    write_report,
+)
 from . import fig5, fig6, fig7, fig8, fig9, fig10, fig11, table1, table2
+from .probes import METRICS_PROBES, run_probe
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -30,6 +43,19 @@ EXPERIMENTS: dict[str, Callable[[], object]] = {
 }
 """Experiment names to zero-argument runners (paper defaults)."""
 
+METAS: dict[str, dict[str, str]] = {
+    "table1": table1.META,
+    "table2": table2.META,
+    "fig5": fig5.META,
+    "fig6": fig6.META,
+    "fig7": fig7.META,
+    "fig8": fig8.META,
+    "fig9": fig9.META,
+    "fig10": fig10.META,
+    "fig11": fig11.META,
+}
+"""Experiment names to their module ``META`` blocks (RL004)."""
+
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``repro-experiments`` console script."""
@@ -44,6 +70,16 @@ def main(argv: list[str] | None = None) -> int:
         metavar="experiment",
         help=f"one or more of: {', '.join(EXPERIMENTS)}, or 'all'",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a repro-metrics JSON report (one document per "
+            "experiment: results, timings, per-level buffer stats from "
+            "an instrumented probe simulation)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     names = list(EXPERIMENTS) if "all" in args.names else args.names
@@ -52,6 +88,7 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
     failed: list[str] = []
+    documents: list[dict[str, object]] = []
     for name in names:
         start = time.perf_counter()
         try:
@@ -69,6 +106,16 @@ def main(argv: list[str] | None = None) -> int:
         print(result.to_text())
         print(f"[{name} completed in {elapsed:.1f}s]")
         print()
+        if args.metrics_out is not None:
+            documents.append(_collect_metrics(name, result, elapsed))
+
+    if args.metrics_out is not None:
+        write_report(args.metrics_out, metrics_report(documents))
+        print(
+            f"[metrics for {len(documents)} experiment(s) written to "
+            f"{args.metrics_out}]"
+        )
+
     if failed:
         print(
             f"{len(failed)} of {len(names)} experiment(s) failed: "
@@ -77,6 +124,27 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 1
     return 0
+
+
+def _collect_metrics(
+    name: str, result: object, wall_seconds: float
+) -> dict[str, object]:
+    """Build one metrics document, running the experiment's probe."""
+    registry = MetricsRegistry()
+    simulation = None
+    spec = METRICS_PROBES.get(name)
+    if spec is not None:
+        with registry.timer("probe.wall"):
+            sim_result, probe = run_probe(spec, registry)
+        simulation = simulation_section(sim_result, probe)
+    return experiment_document(
+        name=name,
+        meta=METAS.get(name, {}),
+        result=result,
+        wall_seconds=wall_seconds,
+        simulation=simulation,
+        registry=registry,
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via console script

@@ -1,0 +1,58 @@
+"""Observability: metrics registry, per-level buffer stats, traces.
+
+The paper's thesis is that one aggregate number (node accesses) hides
+the behaviour that decides performance (which pages the buffer
+serves).  This package applies the same lesson to the reproduction
+itself:
+
+* :class:`MetricsRegistry` — named counters / gauges / timers;
+* :class:`LevelStatsTable` — a buffer-pool sink attributing every
+  request to the owning tree level via ``TreeDescription.level_offsets``;
+* :class:`QueryTrace` — a ring buffer of the last K queries' touched
+  node ids and miss sets;
+* :mod:`repro.obs.export` — the versioned ``repro-metrics`` JSON
+  schema behind ``repro-experiments --metrics-out``.
+
+Everything here is optional: with no registry attached, the simulator
+and buffer pools run exactly the uninstrumented hot path (one ``is
+not None`` test per request), which ``tests/obs/test_overhead.py``
+guards.
+"""
+
+from __future__ import annotations
+
+from .export import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    experiment_document,
+    load_report,
+    metrics_report,
+    simulation_section,
+    validate_document,
+    validate_report,
+    write_report,
+)
+from .levels import LevelStats, LevelStatsTable, NullSink
+from .registry import Counter, Gauge, MetricsRegistry, Timer
+from .trace import QueryTrace, QueryTraceEntry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LevelStats",
+    "LevelStatsTable",
+    "MetricsRegistry",
+    "NullSink",
+    "QueryTrace",
+    "QueryTraceEntry",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "Timer",
+    "experiment_document",
+    "load_report",
+    "metrics_report",
+    "simulation_section",
+    "validate_document",
+    "validate_report",
+    "write_report",
+]

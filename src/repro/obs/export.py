@@ -1,0 +1,251 @@
+"""Versioned JSON export of experiment metrics (``--metrics-out``).
+
+One *report* file holds one *document* per experiment run.  The format
+is deliberately boring — plain JSON, schema identified by
+``("repro-metrics", schema_version)`` — so that ``benchmarks/`` can
+diff two runs with ``json.load`` and no further tooling, and CI can
+archive the file as an artifact.  The full field-by-field schema is
+documented in ``docs/OBSERVABILITY.md``; bump :data:`SCHEMA_VERSION`
+whenever a field changes meaning or disappears (adding fields is
+backward compatible and needs no bump).
+
+:func:`validate_document` doubles as the invariant check the paper's
+bookkeeping demands: the per-level hit/miss/request columns must sum
+exactly to the aggregate ``BufferStats`` totals of the same window —
+a document that fails this was produced by a broken sink, not a noisy
+measurement, so validation raises instead of warning.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+__all__ = [
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "experiment_document",
+    "load_report",
+    "metrics_report",
+    "sanitize",
+    "simulation_section",
+    "validate_document",
+    "validate_report",
+    "write_report",
+]
+
+SCHEMA_NAME = "repro-metrics"
+SCHEMA_VERSION = 1
+
+_LEVEL_SUM_KEYS = ("requests", "hits", "misses", "evictions")
+_BATCH_KEYS = ("requests", "hits", "misses", "evictions")
+
+
+def sanitize(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-serialisable types.
+
+    Handles dataclasses, mappings (keys coerced to ``str``),
+    sequences, sets (sorted for determinism), numpy scalars/arrays
+    (via their ``item``/``tolist`` protocols), and objects exposing
+    ``as_dict``.  Anything else must already be JSON-native.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: sanitize(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {_key(k): sanitize(v) for k, v in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return [sanitize(v) for v in sorted(value, key=repr)]
+    if isinstance(value, (list, tuple)):
+        return [sanitize(v) for v in value]
+    if hasattr(value, "tolist"):  # numpy arrays
+        return sanitize(value.tolist())
+    if hasattr(value, "item"):  # numpy scalars
+        return sanitize(value.item())
+    if hasattr(value, "as_dict"):
+        return sanitize(value.as_dict())
+    raise TypeError(f"cannot sanitise {type(value).__name__} for JSON export")
+
+
+def _key(key: Any) -> str:
+    if isinstance(key, str):
+        return key
+    if isinstance(key, (list, tuple)):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+def _estimate_dict(estimate: Any) -> dict[str, Any]:
+    """A ``BatchMeansEstimate`` as schema fields."""
+    return {
+        "mean": float(estimate.mean),
+        "half_width": float(estimate.half_width),
+        "confidence": float(estimate.confidence),
+        "batch_values": [float(v) for v in estimate.batch_values],
+    }
+
+
+def simulation_section(result: Any, probe: Mapping[str, Any]) -> dict[str, Any]:
+    """The ``simulation`` section of a document, from a
+    :class:`~repro.simulation.SimulationResult` produced with a
+    registry attached (``level_stats`` must be populated).
+
+    ``probe`` records the configuration the simulation ran with
+    (dataset, loader, buffer size, ...), verbatim.
+    """
+    if result.level_stats is None:
+        raise ValueError(
+            "simulation_section needs a result with per-level stats; "
+            "pass registry= to simulate()"
+        )
+    per_level = [row.as_dict() for row in result.level_stats]
+    per_batch = [stats.as_dict() for stats in result.batch_stats]
+    aggregate = {
+        key: sum(batch[key] for batch in per_batch) for key in _BATCH_KEYS
+    }
+    requests = aggregate["requests"]
+    aggregate["hit_ratio"] = aggregate["hits"] / requests if requests else 0.0
+    return {
+        "probe": sanitize(dict(probe)),
+        "aggregate": aggregate,
+        "per_level": per_level,
+        "per_batch": per_batch,
+        "disk_accesses": _estimate_dict(result.disk_accesses),
+        "node_accesses": _estimate_dict(result.node_accesses),
+        "warmup_queries": int(result.warmup_queries),
+        "buffer_filled": bool(result.buffer_filled),
+        "trace": [entry.as_dict() for entry in result.trace],
+    }
+
+
+def experiment_document(
+    name: str,
+    meta: Mapping[str, str],
+    result: Any,
+    wall_seconds: float,
+    simulation: Mapping[str, Any] | None = None,
+    registry: Any | None = None,
+) -> dict[str, Any]:
+    """One schema-v1 document for a completed experiment.
+
+    ``result`` is the experiment's result object (model predictions
+    and simulated means, whatever the experiment produces), sanitised
+    wholesale; ``simulation`` is an optional
+    :func:`simulation_section`; ``registry`` an optional
+    :class:`~repro.obs.registry.MetricsRegistry` whose contents are
+    exported under ``"metrics"``.
+    """
+    document: dict[str, Any] = {
+        "schema": SCHEMA_NAME,
+        "schema_version": SCHEMA_VERSION,
+        "experiment": {
+            "name": name,
+            "title": str(meta.get("title", "")),
+            "source": str(meta.get("source", "")),
+        },
+        "wall_seconds": float(wall_seconds),
+        "result": sanitize(result),
+        "simulation": dict(simulation) if simulation is not None else None,
+        "metrics": registry.to_dict() if registry is not None else None,
+    }
+    return document
+
+
+def metrics_report(
+    documents: Sequence[Mapping[str, Any]],
+    generated_by: str = "repro-experiments",
+) -> dict[str, Any]:
+    """The top-level report envelope around per-experiment documents."""
+    return {
+        "schema": SCHEMA_NAME,
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": generated_by,
+        "documents": [dict(d) for d in documents],
+    }
+
+
+def validate_document(document: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` if ``document`` is not schema-v1 valid.
+
+    Beyond shape checks, enforces the accounting invariant: per-level
+    requests/hits/misses/evictions sum exactly to the aggregate
+    totals, and the per-batch rows sum to the same aggregate.
+    """
+    if document.get("schema") != SCHEMA_NAME:
+        raise ValueError(f"not a {SCHEMA_NAME} document")
+    if document.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema_version {document.get('schema_version')!r}"
+        )
+    experiment = document.get("experiment")
+    if not isinstance(experiment, Mapping) or "name" not in experiment:
+        raise ValueError("document missing experiment.name")
+    if not isinstance(document.get("wall_seconds"), (int, float)):
+        raise ValueError("document missing numeric wall_seconds")
+    if "result" not in document:
+        raise ValueError("document missing result")
+    simulation = document.get("simulation")
+    if simulation is not None:
+        _validate_simulation(simulation)
+
+
+def _validate_simulation(simulation: Mapping[str, Any]) -> None:
+    for key in ("probe", "aggregate", "per_level", "per_batch"):
+        if key not in simulation:
+            raise ValueError(f"simulation section missing {key!r}")
+    aggregate = simulation["aggregate"]
+    per_level = simulation["per_level"]
+    per_batch = simulation["per_batch"]
+    for key in _LEVEL_SUM_KEYS:
+        level_sum = sum(int(row[key]) for row in per_level)
+        batch_sum = sum(int(row[key]) for row in per_batch)
+        total = int(aggregate[key])
+        if level_sum != total:
+            raise ValueError(
+                f"per-level {key} sum {level_sum} != aggregate {total}"
+            )
+        if batch_sum != total:
+            raise ValueError(
+                f"per-batch {key} sum {batch_sum} != aggregate {total}"
+            )
+    requests = int(aggregate["requests"])
+    if int(aggregate["hits"]) + int(aggregate["misses"]) != requests:
+        raise ValueError("aggregate hits + misses != requests")
+
+
+def validate_report(report: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` if ``report`` is not a valid v1 report."""
+    if report.get("schema") != SCHEMA_NAME:
+        raise ValueError(f"not a {SCHEMA_NAME} report")
+    if report.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema_version {report.get('schema_version')!r}"
+        )
+    documents = report.get("documents")
+    if not isinstance(documents, list):
+        raise ValueError("report missing documents list")
+    for document in documents:
+        validate_document(document)
+
+
+def write_report(path: str | Path, report: Mapping[str, Any]) -> None:
+    """Validate and write a report as pretty-printed JSON."""
+    validate_report(report)
+    Path(path).write_text(
+        json.dumps(report, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    """Read and validate a report written by :func:`write_report`."""
+    report = json.loads(Path(path).read_text(encoding="utf-8"))
+    validate_report(report)
+    return report

@@ -1,0 +1,203 @@
+"""Per-tree-level buffer statistics — the breakdown the paper implies.
+
+The buffer model's whole mechanism is level-local: root-level pages
+have access probability ~1 and are always resident, leaf pages are
+numerous and cold, and pinning wins exactly when the top levels'
+pages dominate the hit mass (§3.3, §5.5).  Aggregate ``BufferStats``
+cannot show any of that, so this module provides the per-level table:
+a :class:`LevelStatsTable` attaches to a
+:class:`~repro.buffer.base.BufferPool` as its ``sink`` and attributes
+every request to the tree level owning the requested page, resolved
+from :attr:`~repro.rtree.TreeDescription.level_offsets`.
+
+Sinks are duck-typed: any object with ``record_hit(page)``,
+``record_pin_hit(page)`` and ``record_miss(page, evicted)`` methods
+works (:class:`NullSink` is the do-nothing reference implementation,
+used by the overhead guard).  The buffer pool calls the sink only when
+one is attached, so the uninstrumented path stays a single ``is not
+None`` test per request.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = ["LevelStats", "LevelStatsTable", "NullSink"]
+
+
+class NullSink:
+    """A sink that ignores every event.
+
+    Attaching it must be indistinguishable (modulo a few percent of
+    call overhead) from attaching nothing — the pytest guard in
+    ``tests/obs/test_overhead.py`` holds this class to that claim.
+    """
+
+    __slots__ = ()
+
+    def record_hit(self, page: object) -> None:
+        """Ignore a buffer hit."""
+
+    def record_pin_hit(self, page: object) -> None:
+        """Ignore a pinned-page hit."""
+
+    def record_miss(self, page: object, evicted: object) -> None:
+        """Ignore a buffer miss."""
+
+
+@dataclass(frozen=True)
+class LevelStats:
+    """Immutable counters for one tree level (a snapshot row).
+
+    ``hits`` includes ``pin_hits`` — the two sum to the same "served
+    from the buffer" notion ``BufferStats.hits`` uses — while
+    ``pin_hits`` isolates the pinned-page share so the §5.5 pinning
+    analysis can be read straight off the table.  ``evictions`` counts
+    victims that *belonged to this level* (the evicted page's level,
+    not the level of the page whose miss triggered the eviction).
+    """
+
+    level: int
+    requests: int
+    hits: int
+    misses: int
+    evictions: int
+    pin_hits: int
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of this level's requests served from the buffer."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> dict[str, int | float]:
+        """The row as a JSON-ready mapping (schema v1 ``per_level``)."""
+        return {
+            "level": self.level,
+            "requests": self.requests,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "pin_hits": self.pin_hits,
+            "hit_ratio": self.hit_ratio,
+        }
+
+
+class LevelStatsTable:
+    """A mutable per-level counter table usable as a buffer-pool sink.
+
+    Parameters
+    ----------
+    level_offsets:
+        Global node id of the first node of each level plus a final
+        sentinel — exactly
+        :attr:`~repro.rtree.TreeDescription.level_offsets`.  Page ids
+        seen by the sink must be integers in ``[0, level_offsets[-1])``,
+        the level-major ids the simulator uses.
+    """
+
+    __slots__ = ("_offsets", "_requests", "_hits", "_misses", "_evictions", "_pin_hits")
+
+    def __init__(self, level_offsets: Sequence[int]) -> None:
+        offsets = tuple(int(o) for o in level_offsets)
+        if len(offsets) < 2 or offsets[0] != 0:
+            raise ValueError(
+                "level_offsets must start at 0 and include the final sentinel"
+            )
+        if any(b <= a for a, b in zip(offsets, offsets[1:])):
+            raise ValueError("level_offsets must be strictly increasing")
+        self._offsets = offsets
+        n = len(offsets) - 1
+        self._requests = [0] * n
+        self._hits = [0] * n
+        self._misses = [0] * n
+        self._evictions = [0] * n
+        self._pin_hits = [0] * n
+
+    @property
+    def n_levels(self) -> int:
+        """Number of tree levels the table covers."""
+        return len(self._offsets) - 1
+
+    def level_of(self, page: int) -> int:
+        """Tree level owning a global (level-major) node id."""
+        if not 0 <= page < self._offsets[-1]:
+            raise IndexError(f"page id {page} out of range")
+        return bisect_right(self._offsets, page) - 1
+
+    # ------------------------------------------------------------------
+    # Sink protocol (called by BufferPool.request)
+    # ------------------------------------------------------------------
+    def record_hit(self, page: int) -> None:
+        """Attribute an unpinned buffer hit to ``page``'s level."""
+        level = bisect_right(self._offsets, page) - 1
+        self._requests[level] += 1
+        self._hits[level] += 1
+
+    def record_pin_hit(self, page: int) -> None:
+        """Attribute a pinned-page hit to ``page``'s level."""
+        level = bisect_right(self._offsets, page) - 1
+        self._requests[level] += 1
+        self._hits[level] += 1
+        self._pin_hits[level] += 1
+
+    def record_miss(self, page: int, evicted: int | None) -> None:
+        """Attribute a miss (and the victim's eviction, if any)."""
+        level = bisect_right(self._offsets, page) - 1
+        self._requests[level] += 1
+        self._misses[level] += 1
+        if evicted is not None:
+            self._evictions[bisect_right(self._offsets, evicted) - 1] += 1
+
+    # ------------------------------------------------------------------
+    # Reading the table
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every counter (e.g. after buffer warm-up)."""
+        for column in (
+            self._requests,
+            self._hits,
+            self._misses,
+            self._evictions,
+            self._pin_hits,
+        ):
+            for i in range(len(column)):
+                column[i] = 0
+
+    def snapshot(self) -> tuple[LevelStats, ...]:
+        """Immutable per-level rows, root (level 0) first."""
+        return tuple(
+            LevelStats(
+                level=i,
+                requests=self._requests[i],
+                hits=self._hits[i],
+                misses=self._misses[i],
+                evictions=self._evictions[i],
+                pin_hits=self._pin_hits[i],
+            )
+            for i in range(self.n_levels)
+        )
+
+    def totals(self) -> LevelStats:
+        """Column sums as a single pseudo-row (``level`` is -1).
+
+        By construction these equal the aggregate ``BufferStats``
+        counters of the instrumented pool over the same window — the
+        invariant ``validate_document`` re-checks on every export.
+        """
+        return LevelStats(
+            level=-1,
+            requests=sum(self._requests),
+            hits=sum(self._hits),
+            misses=sum(self._misses),
+            evictions=sum(self._evictions),
+            pin_hits=sum(self._pin_hits),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        totals = self.totals()
+        return (
+            f"LevelStatsTable(levels={self.n_levels}, "
+            f"requests={totals.requests}, hits={totals.hits})"
+        )

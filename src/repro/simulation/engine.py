@@ -12,15 +12,24 @@ single loop: sample representative points, find the containing
 (transformed) MBRs, and request those nodes from the buffer top-down.
 Disk accesses are buffer misses; estimates carry batch-means confidence
 intervals exactly as in the paper.
+
+Observability: measurement batches are bracketed by
+``BufferStats.reset()`` so every batch's counters are independent
+(``SimulationResult.batch_stats``), and passing a
+:class:`~repro.obs.MetricsRegistry` attaches a per-level sink and
+phase timers — see ``docs/OBSERVABILITY.md``.  With no registry the
+hot path is unchanged.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..buffer import BufferPool, POLICIES
+from ..buffer import BufferPool, BufferStats, POLICIES
+from ..obs import LevelStats, LevelStatsTable, MetricsRegistry, QueryTrace, QueryTraceEntry
 from ..queries.mixed import MixedWorkload
 from ..rtree import TreeDescription
 from .batchmeans import BatchMeansEstimate, batch_means
@@ -43,6 +52,16 @@ class SimulationResult:
     """Queries executed before measurement began."""
     buffer_filled: bool
     """Whether the buffer was full when measurement began."""
+    batch_stats: tuple[BufferStats, ...] = ()
+    """Independent buffer counters per measurement batch (warm-up
+    excluded); each batch's counters are snapshot then reset."""
+    level_stats: tuple[LevelStats, ...] | None = None
+    """Per-tree-level request/hit/miss/eviction/pin-hit counters over
+    the whole measurement window; ``None`` unless ``simulate`` was
+    given a registry."""
+    trace: tuple[QueryTraceEntry, ...] = ()
+    """The last ``trace_last`` queries' touched node ids and miss
+    sets; empty unless tracing was requested."""
 
     @property
     def hit_ratio(self) -> float:
@@ -65,6 +84,8 @@ def simulate(
     policy: str = "lru",
     confidence: float = 0.90,
     rng: np.random.Generator | int | None = None,
+    registry: MetricsRegistry | None = None,
+    trace_last: int = 0,
 ) -> SimulationResult:
     """Simulate the buffer and measure disk accesses per query.
 
@@ -92,6 +113,18 @@ def simulate(
         ``random``); the paper's model targets LRU.
     rng:
         Seed or generator for query sampling (default: seed 0).
+    registry:
+        Optional :class:`~repro.obs.MetricsRegistry`.  When given, a
+        :class:`~repro.obs.LevelStatsTable` sink is attached to the
+        buffer pool (levels resolved via ``desc.level_offsets``), the
+        warm-up and measurement phases are timed into
+        ``simulate.warmup`` / ``simulate.measure``, and the aggregate
+        measurement-window counters land in ``buffer.*`` counters.
+        The result then carries ``level_stats``.  With ``None`` the
+        simulation runs the uninstrumented fast path.
+    trace_last:
+        Retain the last this-many queries' touched node ids and miss
+        sets on ``SimulationResult.trace`` (0 disables tracing).
     """
     if n_batches < 2:
         raise ValueError("need at least two batches for confidence intervals")
@@ -99,6 +132,8 @@ def simulate(
         raise ValueError("batch_size must be positive")
     if warmup_cap < 0:
         raise ValueError("warmup_cap must be non-negative")
+    if trace_last < 0:
+        raise ValueError("trace_last must be non-negative")
     if not 0 <= pinned_levels <= desc.height:
         raise ValueError(f"pinned_levels must be in [0, {desc.height}]")
     if rng is None or isinstance(rng, int):
@@ -111,48 +146,90 @@ def simulate(
     pinned_ids = range(desc.level_offsets[pinned_levels])
     buffer = _make_buffer(policy, buffer_size, pinned_ids, rng)
 
+    sink: LevelStatsTable | None = None
+    if registry is not None:
+        sink = LevelStatsTable(desc.level_offsets)
+        buffer.sink = sink
+    trace = QueryTrace(trace_last) if trace_last > 0 else None
+
     # ------------------------------------------------------------------
     # Warm-up: reach the state the model's steady-state estimate targets.
     # ------------------------------------------------------------------
+    started = time.perf_counter() if registry is not None else 0.0
     warmed = 0
     if warmup_queries is None:
         while not buffer.is_full() and warmed < warmup_cap:
             step = min(_CHUNK, warmup_cap - warmed)
-            _run_queries(buffer, transformed, workload, rng, step)
+            _run_queries(buffer, transformed, workload, rng, step, trace)
             warmed += step
     else:
         remaining = warmup_queries
         while remaining > 0:
             step = min(_CHUNK, remaining)
-            _run_queries(buffer, transformed, workload, rng, step)
+            _run_queries(buffer, transformed, workload, rng, step, trace)
             warmed += step
             remaining -= step
     buffer_filled = buffer.is_full()
+    if registry is not None:
+        registry.timer("simulate.warmup").record(time.perf_counter() - started)
 
     # ------------------------------------------------------------------
     # Measurement: batch means over misses and accesses per query.
+    # Counters are reset at every batch boundary, so each batch's
+    # statistics are independent and the batch snapshots sum to the
+    # measurement-window totals.
     # ------------------------------------------------------------------
+    started = time.perf_counter() if registry is not None else 0.0
+    buffer.stats.reset()
+    if sink is not None:
+        sink.reset()
+    batch_snapshots: list[BufferStats] = []
     miss_means: list[float] = []
     access_means: list[float] = []
     for _ in range(n_batches):
-        misses = 0
-        accesses = 0
         remaining = batch_size
         while remaining > 0:
             step = min(_CHUNK, remaining)
-            m, a = _run_queries(buffer, transformed, workload, rng, step)
-            misses += m
-            accesses += a
+            _run_queries(buffer, transformed, workload, rng, step, trace)
             remaining -= step
-        miss_means.append(misses / batch_size)
-        access_means.append(accesses / batch_size)
+        snapshot = buffer.stats.snapshot()
+        batch_snapshots.append(snapshot)
+        miss_means.append(snapshot.misses / batch_size)
+        access_means.append(snapshot.requests / batch_size)
+        buffer.stats.reset()
+
+    if registry is not None:
+        registry.timer("simulate.measure").record(time.perf_counter() - started)
+        totals = _sum_stats(batch_snapshots)
+        registry.counter("buffer.requests").inc(totals.requests)
+        registry.counter("buffer.hits").inc(totals.hits)
+        registry.counter("buffer.misses").inc(totals.misses)
+        registry.counter("buffer.evictions").inc(totals.evictions)
+        registry.gauge("buffer.capacity").set(buffer_size)
+        registry.gauge("buffer.pinned_pages").set(len(buffer.pinned))
+        registry.gauge("sim.batches").set(n_batches)
+        registry.gauge("sim.batch_size").set(batch_size)
 
     return SimulationResult(
         disk_accesses=batch_means(miss_means, confidence=confidence),
         node_accesses=batch_means(access_means, confidence=confidence),
         warmup_queries=warmed,
         buffer_filled=buffer_filled,
+        batch_stats=tuple(batch_snapshots),
+        level_stats=sink.snapshot() if sink is not None else None,
+        trace=trace.entries() if trace is not None else (),
     )
+
+
+def _sum_stats(snapshots: list[BufferStats]) -> BufferStats:
+    """Column sums over per-batch snapshots."""
+    totals = BufferStats()
+    for snapshot in snapshots:
+        totals.requests += snapshot.requests
+        totals.hits += snapshot.hits
+        totals.misses += snapshot.misses
+        totals.evictions += snapshot.evictions
+    return totals
 
 
 def _make_buffer(
@@ -178,11 +255,14 @@ def _run_queries(
     workload,
     rng: np.random.Generator,
     count: int,
+    trace: QueryTrace | None = None,
 ) -> tuple[int, int]:
     """Run ``count`` queries through the buffer; return (misses, accesses).
 
     Node ids come out of ``nonzero`` in ascending (level-major) order,
     i.e. top-down, matching a recursive traversal's request order.
+    When ``trace`` is given, each query's touched ids and miss set are
+    recorded in the ring buffer (slower: only used when tracing).
     """
     if isinstance(workload, MixedWorkload):
         contains = _mixed_containment(transformed, workload, rng, count)
@@ -192,6 +272,14 @@ def _run_queries(
     request = buffer.request
     misses = 0
     accesses = 0
+    if trace is not None:
+        for row in contains:
+            touched = [int(i) for i in np.nonzero(row)[0]]
+            missed = [i for i in touched if not request(i)]
+            accesses += len(touched)
+            misses += len(missed)
+            trace.record(touched, missed)
+        return misses, accesses
     for row in contains:
         ids = np.nonzero(row)[0]
         accesses += ids.size

@@ -1,0 +1,34 @@
+"""BufferStats snapshot/reset semantics (the per-batch building block)."""
+
+from repro.buffer import BufferStats, LRUBuffer
+
+
+class TestSnapshot:
+    def test_snapshot_is_an_independent_copy(self):
+        stats = BufferStats()
+        stats.requests, stats.hits, stats.misses, stats.evictions = 4, 2, 2, 1
+        frozen = stats.snapshot()
+        stats.reset()
+        assert (frozen.requests, frozen.hits, frozen.misses, frozen.evictions) == (
+            4, 2, 2, 1,
+        )
+        assert stats.requests == 0
+
+    def test_as_dict(self):
+        stats = BufferStats()
+        stats.requests, stats.hits = 3, 1
+        assert stats.as_dict() == {
+            "requests": 3, "hits": 1, "misses": 0, "evictions": 0,
+        }
+
+    def test_reset_between_windows_gives_independent_counts(self):
+        pool = LRUBuffer(2)
+        for page in (1, 2, 3):
+            pool.request(page)
+        first = pool.stats.snapshot()
+        pool.stats.reset()
+        pool.request(3)  # hit, resident from the first window
+        second = pool.stats.snapshot()
+        assert first.requests == 3 and first.misses == 3
+        assert second.requests == 1 and second.hits == 1
+        assert second.misses == 0

@@ -1,0 +1,91 @@
+"""The ``--metrics-out`` export path of ``repro-experiments``."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.probes import METRICS_PROBES, ProbeSpec, run_probe
+from repro.experiments.runner import EXPERIMENTS, METAS, main
+from repro.obs import MetricsRegistry, load_report
+
+TINY_PROBE = ProbeSpec("point", 400, 10, "hs", "uniform-point", 10)
+"""A probe small enough for the unit-test budget."""
+
+
+@dataclass(frozen=True)
+class _StubResult:
+    value: float
+
+    def to_text(self) -> str:
+        return f"stub value {self.value}"
+
+
+@pytest.fixture
+def stub_experiment(monkeypatch):
+    """Replace fig5 with a fast stub and a tiny probe."""
+    monkeypatch.setitem(EXPERIMENTS, "fig5", lambda: _StubResult(1.5))
+    monkeypatch.setitem(METRICS_PROBES, "fig5", TINY_PROBE)
+
+
+class TestProbes:
+    def test_every_experiment_has_a_probe(self):
+        assert set(METRICS_PROBES) == set(EXPERIMENTS)
+
+    def test_every_experiment_has_meta(self):
+        assert set(METAS) == set(EXPERIMENTS)
+
+    def test_run_probe_produces_instrumented_result(self):
+        registry = MetricsRegistry()
+        result, probe = run_probe(
+            TINY_PROBE, registry, n_batches=2, batch_size=200, trace_last=3
+        )
+        assert result.level_stats is not None
+        assert len(result.trace) == 3
+        assert probe["dataset"] == "point" and probe["batch_size"] == 200
+        assert "buffer.requests" in registry.to_dict()["counters"]
+
+    def test_unknown_workload_rejected(self):
+        bad = ProbeSpec("point", 400, 10, "hs", "nope", 10)
+        with pytest.raises(ValueError, match="unknown probe workload"):
+            run_probe(bad, MetricsRegistry())
+
+
+class TestMetricsOut:
+    def test_writes_schema_valid_report(self, tmp_path, stub_experiment, capsys):
+        path = tmp_path / "out.json"
+        assert main(["--metrics-out", str(path), "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics for 1 experiment(s)" in out
+        report = load_report(path)  # validates on load
+        (doc,) = report["documents"]
+        assert doc["experiment"]["name"] == "fig5"
+        assert doc["experiment"]["source"] == METAS["fig5"]["source"]
+        assert doc["result"] == {"value": 1.5}
+        assert doc["wall_seconds"] >= 0.0
+
+    def test_per_level_sums_match_aggregate(self, tmp_path, stub_experiment):
+        path = tmp_path / "out.json"
+        assert main(["--metrics-out", str(path), "fig5"]) == 0
+        simulation = load_report(path)["documents"][0]["simulation"]
+        for key in ("requests", "hits", "misses", "evictions"):
+            assert simulation["aggregate"][key] == sum(
+                row[key] for row in simulation["per_level"]
+            )
+
+    def test_failed_experiment_skipped_but_file_written(
+        self, tmp_path, stub_experiment, monkeypatch, capsys
+    ):
+        def boom():
+            raise RuntimeError("crash")
+
+        monkeypatch.setitem(EXPERIMENTS, "fig6", boom)
+        path = tmp_path / "out.json"
+        assert main(["--metrics-out", str(path), "fig6", "fig5"]) == 1
+        report = load_report(path)
+        names = [d["experiment"]["name"] for d in report["documents"]]
+        assert names == ["fig5"]
+
+    def test_no_flag_writes_nothing(self, tmp_path, stub_experiment, capsys):
+        assert main(["fig5"]) == 0
+        assert "metrics for" not in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []

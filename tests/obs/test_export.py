@@ -1,0 +1,156 @@
+"""The repro-metrics JSON schema: sanitisation, validation, round-trip."""
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    MetricsRegistry,
+    experiment_document,
+    load_report,
+    metrics_report,
+    simulation_section,
+    validate_document,
+    validate_report,
+    write_report,
+)
+from repro.obs.export import sanitize
+from repro.queries import UniformPointWorkload
+from repro.simulation import simulate
+from tests.obs.test_levels import two_level_description
+
+
+@dataclass(frozen=True)
+class _FakeResult:
+    curves: dict
+    sizes: tuple
+
+
+def instrumented_result(registry=None, **overrides):
+    kwargs = dict(buffer_size=1, n_batches=3, batch_size=200, trace_last=4)
+    kwargs.update(overrides)
+    return simulate(
+        two_level_description(),
+        UniformPointWorkload(),
+        registry=registry if registry is not None else MetricsRegistry(),
+        **kwargs,
+    )
+
+
+class TestSanitize:
+    def test_dataclasses_tuples_and_numpy(self):
+        value = _FakeResult(
+            curves={("hs", 300): (np.float64(1.5), 2)},
+            sizes=(np.int64(10), 20),
+        )
+        cleaned = sanitize(value)
+        assert cleaned == {"curves": {"hs/300": [1.5, 2]}, "sizes": [10, 20]}
+        json.dumps(cleaned)  # round-trippable
+
+    def test_sets_sorted_non_str_keys_coerced(self):
+        assert sanitize({3: {2, 1}}) == {"3": [1, 2]}
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            sanitize(object())
+
+
+class TestSimulationSection:
+    def test_requires_level_stats(self):
+        bare = simulate(
+            two_level_description(), UniformPointWorkload(), 2,
+            n_batches=2, batch_size=100,
+        )
+        with pytest.raises(ValueError):
+            simulation_section(bare, {})
+
+    def test_aggregate_equals_column_sums(self):
+        section = simulation_section(instrumented_result(), {"dataset": "x"})
+        for key in ("requests", "hits", "misses", "evictions"):
+            assert section["aggregate"][key] == sum(
+                row[key] for row in section["per_level"]
+            )
+            assert section["aggregate"][key] == sum(
+                row[key] for row in section["per_batch"]
+            )
+        assert section["probe"] == {"dataset": "x"}
+        assert len(section["trace"]) == 4
+
+
+class TestDocumentValidation:
+    def make_document(self):
+        registry = MetricsRegistry()
+        section = simulation_section(
+            instrumented_result(registry), {"dataset": "x"}
+        )
+        return experiment_document(
+            name="fake",
+            meta={"title": "Fake", "source": "Fig. 0"},
+            result=_FakeResult(curves={}, sizes=(1,)),
+            wall_seconds=0.25,
+            simulation=section,
+            registry=registry,
+        )
+
+    def test_valid_document_passes(self):
+        validate_document(self.make_document())
+
+    def test_wrong_schema_rejected(self):
+        doc = self.make_document()
+        doc["schema"] = "other"
+        with pytest.raises(ValueError):
+            validate_document(doc)
+
+    def test_future_version_rejected(self):
+        doc = self.make_document()
+        doc["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError):
+            validate_document(doc)
+
+    def test_level_sum_mismatch_rejected(self):
+        doc = self.make_document()
+        doc["simulation"]["per_level"][0]["hits"] += 1
+        with pytest.raises(ValueError, match="per-level hits"):
+            validate_document(doc)
+
+    def test_batch_sum_mismatch_rejected(self):
+        doc = self.make_document()
+        doc["simulation"]["per_batch"][0]["misses"] += 1
+        with pytest.raises(ValueError, match="per-batch misses"):
+            validate_document(doc)
+
+    def test_simulation_free_document_is_valid(self):
+        doc = experiment_document(
+            name="fake", meta={}, result={"rows": [1, 2]}, wall_seconds=0.1
+        )
+        validate_document(doc)
+        assert doc["simulation"] is None and doc["metrics"] is None
+
+
+class TestReportRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        doc = TestDocumentValidation().make_document()
+        report = metrics_report([doc])
+        path = tmp_path / "metrics.json"
+        write_report(path, report)
+        loaded = load_report(path)
+        assert loaded == json.loads(json.dumps(report))  # lossless
+        assert loaded["schema"] == SCHEMA_NAME
+        assert loaded["schema_version"] == SCHEMA_VERSION
+        assert loaded["generated_by"] == "repro-experiments"
+        assert len(loaded["documents"]) == 1
+
+    def test_write_rejects_invalid_report(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_report(tmp_path / "bad.json", {"schema": SCHEMA_NAME})
+
+    def test_validate_report_checks_every_document(self):
+        doc = TestDocumentValidation().make_document()
+        bad = dict(doc)
+        bad["schema"] = "other"
+        with pytest.raises(ValueError):
+            validate_report(metrics_report([doc, bad]))

@@ -1,0 +1,171 @@
+"""Per-level attribution: unit tests plus a hand-built 2-level tree."""
+
+import pytest
+
+from repro.buffer import LRUBuffer
+from repro.geometry import Rect
+from repro.obs import LevelStatsTable, MetricsRegistry, NullSink
+from repro.queries import UniformPointWorkload
+from repro.rtree import TreeDescription
+from repro.simulation import simulate
+
+
+def two_level_description() -> TreeDescription:
+    """Root over two disjoint leaves; every point hits root + <= 1 leaf."""
+    return TreeDescription.from_level_rects(
+        [
+            [Rect((0, 0), (1, 1))],
+            [Rect((0, 0), (0.49, 1)), Rect((0.51, 0), (1, 1))],
+        ]
+    )
+
+
+class TestLevelStatsTable:
+    def test_offset_validation(self):
+        with pytest.raises(ValueError):
+            LevelStatsTable([0])  # no sentinel
+        with pytest.raises(ValueError):
+            LevelStatsTable([1, 3])  # does not start at 0
+        with pytest.raises(ValueError):
+            LevelStatsTable([0, 3, 3])  # empty level
+
+    def test_level_of(self):
+        table = LevelStatsTable((0, 1, 3, 7))
+        assert table.n_levels == 3
+        assert table.level_of(0) == 0
+        assert table.level_of(1) == 1
+        assert table.level_of(2) == 1
+        assert table.level_of(3) == 2
+        assert table.level_of(6) == 2
+        with pytest.raises(IndexError):
+            table.level_of(7)
+        with pytest.raises(IndexError):
+            table.level_of(-1)
+
+    def test_attribution(self):
+        table = LevelStatsTable((0, 1, 3))
+        table.record_pin_hit(0)
+        table.record_hit(1)
+        table.record_miss(2, evicted=1)
+        root, leaves = table.snapshot()
+        assert (root.requests, root.hits, root.pin_hits) == (1, 1, 1)
+        assert (leaves.requests, leaves.hits, leaves.misses) == (2, 1, 1)
+        # the victim's eviction lands on the victim's level
+        assert leaves.evictions == 1 and root.evictions == 0
+
+    def test_miss_without_eviction(self):
+        table = LevelStatsTable((0, 1))
+        table.record_miss(0, evicted=None)
+        (row,) = table.snapshot()
+        assert row.misses == 1 and row.evictions == 0
+
+    def test_totals_and_reset(self):
+        table = LevelStatsTable((0, 2, 5))
+        for page in range(5):
+            table.record_miss(page, None)
+        totals = table.totals()
+        assert totals.requests == totals.misses == 5
+        table.reset()
+        assert table.totals().requests == 0
+
+    def test_hit_ratio(self):
+        table = LevelStatsTable((0, 1))
+        assert table.snapshot()[0].hit_ratio == 0.0
+        table.record_hit(0)
+        table.record_miss(0, None)
+        assert table.snapshot()[0].hit_ratio == pytest.approx(0.5)
+
+
+class TestBufferPoolSink:
+    def test_sink_sees_every_request_kind(self):
+        events = []
+
+        class Recorder:
+            def record_hit(self, page):
+                events.append(("hit", page))
+
+            def record_pin_hit(self, page):
+                events.append(("pin", page))
+
+            def record_miss(self, page, evicted):
+                events.append(("miss", page, evicted))
+
+        pool = LRUBuffer(2, pinned=[0])
+        pool.sink = Recorder()
+        pool.request(0)  # pinned
+        pool.request(1)  # miss, admitted
+        pool.request(1)  # hit
+        pool.request(2)  # miss, evicts 1 (capacity 2, 1 pinned slot)
+        assert events == [
+            ("pin", 0),
+            ("miss", 1, None),
+            ("hit", 1),
+            ("miss", 2, 1),
+        ]
+
+    def test_null_sink_changes_nothing(self):
+        instrumented = LRUBuffer(2)
+        instrumented.sink = NullSink()
+        plain = LRUBuffer(2)
+        for page in (1, 2, 3, 2, 1, 3, 3):
+            assert instrumented.request(page) == plain.request(page)
+        assert instrumented.stats.as_dict() == plain.stats.as_dict()
+        assert instrumented.lru_order() == plain.lru_order()
+
+
+class TestSimulateAttribution:
+    def test_two_level_tree_hand_counts(self):
+        desc = two_level_description()
+        registry = MetricsRegistry()
+        n_batches, batch_size = 4, 500
+        result = simulate(
+            desc, UniformPointWorkload(), buffer_size=3,
+            n_batches=n_batches, batch_size=batch_size, registry=registry,
+        )
+        root, leaves = result.level_stats
+        queries = n_batches * batch_size
+        # Every point is inside the root MBR: one root request per query.
+        assert root.requests == queries
+        # The buffer holds all three pages: everything hits.
+        assert root.hits == queries and root.misses == 0
+        assert leaves.misses == 0 and leaves.evictions == 0
+        # Leaves cover 98% of the unit square, roughly evenly.
+        assert 0.9 * queries <= leaves.requests <= queries
+        # No pinning: pin_hits are zero everywhere.
+        assert root.pin_hits == 0 and leaves.pin_hits == 0
+
+    def test_pinned_root_counted_as_pin_hits(self):
+        desc = two_level_description()
+        registry = MetricsRegistry()
+        result = simulate(
+            desc, UniformPointWorkload(), buffer_size=2, pinned_levels=1,
+            n_batches=2, batch_size=300, registry=registry,
+        )
+        root = result.level_stats[0]
+        assert root.pin_hits == root.requests == root.hits == 600
+
+    def test_per_level_sums_match_aggregate_batch_stats(self):
+        desc = two_level_description()
+        registry = MetricsRegistry()
+        result = simulate(
+            desc, UniformPointWorkload(), buffer_size=1,
+            n_batches=3, batch_size=400, registry=registry,
+        )
+        for column in ("requests", "hits", "misses", "evictions"):
+            level_sum = sum(getattr(row, column) for row in result.level_stats)
+            batch_sum = sum(getattr(s, column) for s in result.batch_stats)
+            assert level_sum == batch_sum
+        exported = registry.to_dict()["counters"]
+        assert exported["buffer.requests"] == sum(
+            s.requests for s in result.batch_stats
+        )
+
+    def test_no_registry_leaves_result_bare(self):
+        desc = two_level_description()
+        result = simulate(
+            desc, UniformPointWorkload(), buffer_size=3,
+            n_batches=2, batch_size=100,
+        )
+        assert result.level_stats is None
+        assert result.trace == ()
+        assert len(result.batch_stats) == 2

@@ -1,0 +1,47 @@
+"""Guard: instrumentation is free when nothing is attached.
+
+``BufferPool.request`` pays one ``is not None`` test per call when no
+sink is attached, and a no-op sink costs only the dispatch of three
+empty methods.  These tests keep both claims honest with a coarse
+timing ratio — deliberately generous bounds so the guard never flakes
+on a loaded CI machine while still catching an accidental
+always-on per-request dict lookup or level resolution (which costs
+several times the base request).  The finer-grained benchmark lives
+in ``benchmarks/test_obs_overhead.py``.
+"""
+
+import timeit
+
+from repro.buffer import LRUBuffer
+from repro.obs import NullSink
+
+_PAGES = [i % 40 for i in range(2000)]
+_REPEATS = 7
+
+
+def _request_loop_seconds(sink) -> float:
+    pool = LRUBuffer(16)
+    pool.sink = sink
+    pages = _PAGES
+    request = pool.request
+
+    def loop():
+        for page in pages:
+            request(page)
+
+    return min(timeit.repeat(loop, number=5, repeat=_REPEATS))
+
+
+def test_noop_sink_overhead_is_bounded():
+    bare = _request_loop_seconds(None)
+    noop = _request_loop_seconds(NullSink())
+    # An empty method call per request must stay within small-constant
+    # territory of the uninstrumented loop; 3x is far above the real
+    # ~1.2x but far below an accidental per-request table update.
+    assert noop <= 3.0 * bare + 1e-4, (
+        f"NullSink overhead too high: bare={bare:.6f}s noop={noop:.6f}s"
+    )
+
+
+def test_detached_pool_has_no_sink():
+    assert LRUBuffer(4).sink is None

@@ -1,0 +1,85 @@
+"""Counter / gauge / timer semantics of the metrics registry."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, MetricsRegistry, Timer
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increments(self):
+        c = Counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("x")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestTimer:
+    def test_record_accumulates(self):
+        t = Timer("x")
+        t.record(0.25)
+        t.record(0.75)
+        assert t.total_seconds == pytest.approx(1.0)
+        assert t.count == 2
+        assert t.mean_seconds == pytest.approx(0.5)
+
+    def test_context_manager_records_one_observation(self):
+        t = Timer("x")
+        with t:
+            pass
+        assert t.count == 1
+        assert t.total_seconds >= 0.0
+
+    def test_rejects_negative_durations(self):
+        with pytest.raises(ValueError):
+            Timer("x").record(-0.1)
+
+    def test_mean_zero_when_never_recorded(self):
+        assert Timer("x").mean_seconds == 0.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.timer("t") is registry.timer("t")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError):
+            registry.gauge("a")
+        with pytest.raises(ValueError):
+            registry.timer("a")
+
+    def test_container_protocol(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert len(registry) == 2
+        assert "a" in registry and "c" not in registry
+        assert list(registry) == ["a", "b"]  # sorted
+
+    def test_to_dict_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(7)
+        registry.gauge("capacity").set(100)
+        registry.timer("phase").record(0.5)
+        exported = registry.to_dict()
+        assert exported["counters"] == {"requests": 7}
+        assert exported["gauges"] == {"capacity": 100.0}
+        assert exported["timers"]["phase"]["count"] == 1
+        assert exported["timers"]["phase"]["total_seconds"] == pytest.approx(0.5)

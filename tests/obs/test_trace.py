@@ -1,0 +1,81 @@
+"""Query-trace ring buffer: retention, order, wraparound."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, QueryTrace
+from repro.queries import UniformPointWorkload
+from repro.simulation import simulate
+from tests.obs.test_levels import two_level_description
+
+
+class TestQueryTrace:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            QueryTrace(0)
+
+    def test_fills_then_wraps(self):
+        trace = QueryTrace(3)
+        for i in range(5):
+            trace.record([0, i + 1], [i + 1])
+        assert trace.total_recorded == 5
+        assert len(trace) == 3
+        entries = trace.entries()
+        # Oldest-first: queries 2, 3, 4 survive; 0 and 1 were evicted.
+        assert [e.index for e in entries] == [2, 3, 4]
+        assert entries[-1].touched == (0, 5)
+        assert entries[-1].missed == (5,)
+
+    def test_partial_fill_keeps_insertion_order(self):
+        trace = QueryTrace(10)
+        trace.record([1], [])
+        trace.record([2], [2])
+        assert [e.index for e in trace.entries()] == [0, 1]
+        assert len(trace) == 2
+
+    def test_exact_boundary(self):
+        trace = QueryTrace(2)
+        trace.record([1], [])
+        trace.record([2], [])
+        assert [e.index for e in trace.entries()] == [0, 1]
+        trace.record([3], [])
+        assert [e.index for e in trace.entries()] == [1, 2]
+
+    def test_entry_as_dict(self):
+        trace = QueryTrace(1)
+        entry = trace.record([7, 8], [8])
+        assert entry.as_dict() == {"query": 0, "touched": [7, 8], "missed": [8]}
+
+
+class TestSimulateTracing:
+    def test_trace_retains_last_k_queries(self):
+        desc = two_level_description()
+        result = simulate(
+            desc, UniformPointWorkload(), buffer_size=3,
+            n_batches=2, batch_size=100, trace_last=5,
+        )
+        assert len(result.trace) == 5
+        indices = [e.index for e in result.trace]
+        assert indices == sorted(indices)
+        # The last traced query is the last query of the whole run
+        # (warm-up + measurement).
+        assert indices[-1] == result.warmup_queries + 200 - 1
+        for entry in result.trace:
+            # Touched ids walk the tree top-down: root id 0 first.
+            assert entry.touched[0] == 0
+            assert set(entry.missed) <= set(entry.touched)
+
+    def test_tracing_does_not_change_measurements(self):
+        desc = two_level_description()
+        kwargs = dict(buffer_size=1, n_batches=3, batch_size=200)
+        plain = simulate(desc, UniformPointWorkload(), **kwargs)
+        traced = simulate(
+            desc, UniformPointWorkload(), trace_last=4,
+            registry=MetricsRegistry(), **kwargs,
+        )
+        assert traced.disk_accesses.mean == plain.disk_accesses.mean
+        assert traced.node_accesses.mean == plain.node_accesses.mean
+
+    def test_trace_last_validation(self):
+        desc = two_level_description()
+        with pytest.raises(ValueError):
+            simulate(desc, UniformPointWorkload(), 2, trace_last=-1)

@@ -111,6 +111,56 @@ class TestExactBehaviours:
             simulate(desc, w, 2, pinned_levels=5)
 
 
+class TestBatchStats:
+    """Regression: ``BufferStats.reset()`` is called between batches.
+
+    The docstring always promised it ("used between measurement
+    batches"); the engine historically never did it, so per-batch
+    counters would have been cumulative had they been exposed."""
+
+    def test_batch_stats_are_independent_not_cumulative(self):
+        desc = tiny_description()
+        result = simulate(
+            desc, UniformPointWorkload(), buffer_size=1,
+            n_batches=4, batch_size=500,
+        )
+        assert len(result.batch_stats) == 4
+        requests = [s.requests for s in result.batch_stats]
+        # Cumulative counters would grow ~linearly across batches;
+        # independent ones stay near one batch's worth of requests.
+        assert max(requests) < 2 * min(requests)
+        assert max(requests) <= 2 * 500  # <= accesses of a single batch
+
+    def test_batch_stats_agree_with_estimates(self):
+        desc = tiny_description()
+        n_batches, batch_size = 3, 400
+        result = simulate(
+            desc, UniformPointWorkload(), buffer_size=1,
+            n_batches=n_batches, batch_size=batch_size,
+        )
+        for stats, miss_mean, access_mean in zip(
+            result.batch_stats,
+            result.disk_accesses.batch_values,
+            result.node_accesses.batch_values,
+        ):
+            assert stats.misses == miss_mean * batch_size
+            assert stats.requests == access_mean * batch_size
+            # hits + misses account for every request, per batch
+            assert stats.hits + stats.misses == stats.requests
+
+    def test_warmup_excluded_from_batch_stats(self):
+        desc = tiny_description()
+        result = simulate(
+            desc, UniformPointWorkload(), buffer_size=3,
+            n_batches=2, batch_size=100,
+        )
+        assert result.warmup_queries > 0
+        total_requests = sum(s.requests for s in result.batch_stats)
+        # 200 measured queries touch at most 2 nodes each; warm-up
+        # leakage would push the total far above that.
+        assert total_requests <= 2 * 200
+
+
 class TestStatisticalAgreement:
     def test_region_queries_touch_more_nodes(self, rng):
         desc = pack_description(random_rects(rng, 500), 10, "hs")

@@ -1,0 +1,62 @@
+"""Every relative link in README.md and docs/*.md must resolve.
+
+Thin wrapper over ``tools/check_docs_links.py`` so that tier-1 pytest
+fails on a broken link without waiting for the CI step.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "check_docs_links", REPO_ROOT / "tools" / "check_docs_links.py"
+)
+check_docs_links = importlib.util.module_from_spec(_SPEC)
+sys.modules.setdefault("check_docs_links", check_docs_links)
+_SPEC.loader.exec_module(check_docs_links)
+
+DOC_FILES = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+
+def test_default_set_covers_readme_and_docs():
+    assert check_docs_links.DEFAULT_FILES == ("README.md", "docs")
+    assert DOC_FILES, "no docs found to check"
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_no_broken_links(path):
+    broken = check_docs_links.broken_links(path)
+    assert broken == [], f"broken links in {path.name}: {broken}"
+
+
+def test_checker_finds_planted_broken_link(tmp_path):
+    doc = tmp_path / "bad.md"
+    doc.write_text(
+        "see [missing](no-such-file.md) and [ok](#anchor)\n"
+        "```\n[not a link](also-missing.md)\n```\n"
+        "[web](https://example.com) ![img](missing.png)\n"
+    )
+    broken = check_docs_links.broken_links(doc)
+    assert [target for _, target in broken] == ["no-such-file.md", "missing.png"]
+
+
+def test_anchor_suffix_checks_file_only(tmp_path):
+    (tmp_path / "other.md").write_text("# hi\n")
+    doc = tmp_path / "doc.md"
+    doc.write_text("[x](other.md#section) [y](gone.md#section)\n")
+    assert [t for _, t in check_docs_links.broken_links(doc)] == ["gone.md#section"]
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    good = tmp_path / "good.md"
+    good.write_text("[self](good.md)\n")
+    assert check_docs_links.main([str(good)]) == 0
+    assert "docs links OK" in capsys.readouterr().out
+
+    bad = tmp_path / "bad.md"
+    bad.write_text("[x](nope.md)\n")
+    assert check_docs_links.main([str(bad)]) == 1
+    assert "broken link" in capsys.readouterr().out

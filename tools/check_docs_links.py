@@ -1,0 +1,116 @@
+"""Fail on broken relative links in README.md and docs/*.md.
+
+Scans markdown files for inline links and images
+(``[text](target)`` / ``![alt](target)``), ignores absolute URLs
+(``http://``, ``https://``, ``mailto:``) and pure in-page anchors
+(``#section``), and checks that every remaining target resolves to an
+existing file or directory relative to the file containing the link.
+Anchors on relative links (``MODEL.md#eq-5``) are checked for file
+existence only.
+
+Usage::
+
+    python tools/check_docs_links.py            # check the default set
+    python tools/check_docs_links.py FILE...    # check specific files
+
+Exit code 0 when every link resolves; 1 otherwise, with one
+``file:line: broken link -> target`` line per failure.  The same check
+runs in the test suite (``tests/test_docs_links.py``) and in CI.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+__all__ = ["DEFAULT_FILES", "broken_links", "find_links", "main"]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DEFAULT_FILES = ("README.md", "docs")
+"""Targets checked when no arguments are given (files or directories)."""
+
+# Inline markdown links/images: [text](target) or ![alt](target).
+# The target group stops at whitespace, ')' or '"' so that titles
+# ([x](y "title")) and sized images don't leak into the path.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)\s\"<>]+)>?[^)]*\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def find_links(path: Path) -> list[tuple[int, str]]:
+    """Return ``(line_number, target)`` for every inline link in *path*.
+
+    Fenced code blocks are skipped: shell examples routinely contain
+    ``[text](...)``-shaped strings that are not links.
+    """
+    links: list[tuple[int, str]] = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_RE.finditer(line):
+            links.append((lineno, match.group(1)))
+    return links
+
+
+def broken_links(path: Path) -> list[tuple[int, str]]:
+    """Return the links in *path* whose targets do not resolve."""
+    broken: list[tuple[int, str]] = []
+    for lineno, target in find_links(path):
+        if target.startswith(_SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        if not (path.parent / relative).exists():
+            broken.append((lineno, target))
+    return broken
+
+
+def _collect(arguments: list[str]) -> list[Path]:
+    targets = arguments or list(DEFAULT_FILES)
+    files: list[Path] = []
+    for argument in targets:
+        candidate = Path(argument)
+        if not candidate.is_absolute():
+            candidate = REPO_ROOT / candidate
+        if candidate.is_dir():
+            files.extend(sorted(candidate.glob("*.md")))
+        else:
+            files.append(candidate)
+    return files
+
+
+def _display(path: Path) -> Path:
+    try:
+        return path.relative_to(REPO_ROOT)
+    except ValueError:
+        return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    failures = 0
+    checked = 0
+    for path in _collect(list(sys.argv[1:] if argv is None else argv)):
+        if not path.exists():
+            print(f"{path}: file not found")
+            failures += 1
+            continue
+        checked += 1
+        for lineno, target in broken_links(path):
+            print(f"{_display(path)}:{lineno}: broken link -> {target}")
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)")
+        return 1
+    print(f"docs links OK ({checked} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
