@@ -1,0 +1,331 @@
+"""Benchmark the spatial-acceleration kernels and write ``BENCH_repro.json``.
+
+Measures the sparse kernels of :mod:`repro.accel` against their dense
+oracles on the two compute-dominant paths of the reproduction:
+
+* ``data_driven_access_probabilities`` — Eq. 4 probabilities (sorted
+  range-count kernel vs the dense containment matrix);
+* ``point_stab`` — CSR point-stabbing (grid index vs dense matrix);
+* ``simulator_query_throughput`` — the §4 simulator's per-query loop
+  (stab + LRU buffer requests) end to end.
+
+The report is a machine-readable JSON file (schema ``repro-bench/1``,
+see :data:`RECORD_FIELDS` and ``docs/PERFORMANCE.md``) written to the
+repo root so successive PRs accumulate a performance trajectory to
+regress against.  CI runs the ``--smoke`` sizes and validates the
+emitted file with ``--validate``.
+
+Usage::
+
+    python benchmarks/bench_kernels.py                 # full sizes (~10 min)
+    python benchmarks/bench_kernels.py --smoke         # CI-sized, seconds
+    python benchmarks/bench_kernels.py --validate BENCH_repro.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:  # installed package (CI) or PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # plain checkout: python benchmarks/bench_kernels.py
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.accel import DenseStabber, GridStabbingIndex, SortedRangeCounter
+from repro.buffer import LRUBuffer
+from repro.geometry import RectArray
+from repro.model.access import data_driven_probabilities
+
+__all__ = [
+    "RECORD_FIELDS",
+    "SCHEMA",
+    "build_report",
+    "main",
+    "validate_report",
+]
+
+SCHEMA = "repro-bench/1"
+
+RECORD_FIELDS = {
+    "kernel": str,
+    "n_rects": int,
+    "n_points": int,
+    "seconds": float,
+    "ops_per_s": float,
+    "unit": str,
+    "dense_seconds": float,
+    "speedup_vs_dense": float,
+}
+"""Required fields (and types) of every record in a report."""
+
+_QUERY_CHUNK = 4096
+"""Queries per stab batch in the simulator-loop benchmark (matches
+``repro.simulation.engine._CHUNK``)."""
+
+
+def _node_like_rects(rng: np.random.Generator, n: int) -> RectArray:
+    """``n`` node-MBR-like rectangles in the unit square.
+
+    Sides are ~``1/sqrt(n)`` with lognormal jitter — roughly the MBR
+    population of a packed R-tree's leaf level over uniform data.
+    """
+    sides = rng.lognormal(mean=0.0, sigma=0.5, size=(n, 2)) / np.sqrt(n)
+    sides = np.minimum(sides, 0.9)
+    lo = rng.random((n, 2)) * (1.0 - sides)
+    return RectArray(lo, lo + sides)
+
+
+def _bench_data_driven(rng: np.random.Generator, n_rects: int, n_points: int) -> dict:
+    """Eq. 4 access probabilities: sorted kernel vs dense matrix."""
+    rects = _node_like_rects(rng, n_rects)
+    centers = rng.random((n_points, 2))
+    extents = (0.01, 0.01)
+
+    started = time.perf_counter()
+    counter = SortedRangeCounter(centers)
+    fast = data_driven_probabilities(
+        rects, centers, extents, counter=counter
+    )
+    seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    dense = data_driven_probabilities(rects, centers, extents, method="dense")
+    dense_seconds = time.perf_counter() - started
+
+    if not np.array_equal(fast, dense):
+        raise AssertionError("sorted kernel diverged from the dense oracle")
+    return _record(
+        "data_driven_access_probabilities",
+        n_rects,
+        n_points,
+        seconds,
+        dense_seconds,
+        ops=n_rects * n_points,
+        unit="pair-tests/s",
+    )
+
+
+def _bench_point_stab(rng: np.random.Generator, n_rects: int, n_points: int) -> dict:
+    """CSR point stabbing: grid index (incl. build) vs dense matrix."""
+    rects = _node_like_rects(rng, n_rects)
+    points = rng.random((n_points, 2))
+
+    started = time.perf_counter()
+    sparse = GridStabbingIndex(rects).stab(points)
+    seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    dense = DenseStabber(rects).stab(points)
+    dense_seconds = time.perf_counter() - started
+
+    if not (
+        np.array_equal(sparse.indptr, dense.indptr)
+        and np.array_equal(sparse.ids, dense.ids)
+    ):
+        raise AssertionError("grid stab diverged from the dense oracle")
+    return _record(
+        "point_stab",
+        n_rects,
+        n_points,
+        seconds,
+        dense_seconds,
+        ops=n_rects * n_points,
+        unit="pair-tests/s",
+    )
+
+
+def _run_sim_loop(stabber, points: np.ndarray, buffer_size: int) -> int:
+    """The simulator's measurement loop: stab, then request top-down."""
+    buffer = LRUBuffer(buffer_size, ())
+    misses = 0
+    for start in range(0, points.shape[0], _QUERY_CHUNK):
+        sparse = stabber.stab(points[start : start + _QUERY_CHUNK])
+        request = buffer.request
+        for ids in sparse.iter_rows():
+            for node_id in ids:
+                if not request(int(node_id)):
+                    misses += 1
+    return misses
+
+
+def _bench_sim_throughput(
+    rng: np.random.Generator, n_rects: int, n_points: int
+) -> dict:
+    """End-to-end simulator query throughput, grid vs dense backend."""
+    rects = _node_like_rects(rng, n_rects)
+    points = rng.random((n_points, 2))
+    buffer_size = max(1, n_rects // 10)
+
+    started = time.perf_counter()
+    misses_grid = _run_sim_loop(GridStabbingIndex(rects), points, buffer_size)
+    seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    misses_dense = _run_sim_loop(DenseStabber(rects), points, buffer_size)
+    dense_seconds = time.perf_counter() - started
+
+    if misses_grid != misses_dense:
+        raise AssertionError("sim loop miss counts diverged across backends")
+    return _record(
+        "simulator_query_throughput",
+        n_rects,
+        n_points,
+        seconds,
+        dense_seconds,
+        ops=n_points,
+        unit="queries/s",
+    )
+
+
+def _record(
+    kernel: str,
+    n_rects: int,
+    n_points: int,
+    seconds: float,
+    dense_seconds: float,
+    *,
+    ops: int,
+    unit: str,
+) -> dict:
+    seconds = max(seconds, 1e-9)
+    dense_seconds = max(dense_seconds, 1e-9)
+    return {
+        "kernel": kernel,
+        "n_rects": int(n_rects),
+        "n_points": int(n_points),
+        "seconds": seconds,
+        "ops_per_s": ops / seconds,
+        "unit": unit,
+        "dense_seconds": dense_seconds,
+        "speedup_vs_dense": dense_seconds / seconds,
+    }
+
+
+_FULL_SIZES = {
+    "data_driven": (100_000, 100_000),
+    "point_stab": (50_000, 20_000),
+    "sim_throughput": (50_000, 20_000),
+}
+
+_SMOKE_SIZES = {
+    "data_driven": (1_500, 1_500),
+    "point_stab": (4_000, 2_000),
+    "sim_throughput": (4_000, 2_000),
+}
+
+
+def build_report(seed: int = 0, smoke: bool = False) -> dict:
+    """Run every kernel benchmark and assemble the report dict."""
+    sizes = _SMOKE_SIZES if smoke else _FULL_SIZES
+    rng = np.random.default_rng(seed)
+    records = [
+        _bench_data_driven(rng, *sizes["data_driven"]),
+        _bench_point_stab(rng, *sizes["point_stab"]),
+        _bench_sim_throughput(rng, *sizes["sim_throughput"]),
+    ]
+    return {
+        "schema": SCHEMA,
+        "seed": int(seed),
+        "smoke": bool(smoke),
+        "records": records,
+    }
+
+
+def validate_report(report: object) -> list[str]:
+    """Schema errors in a parsed report (empty list = valid)."""
+    errors: list[str] = []
+    if not isinstance(report, dict):
+        return ["report must be a JSON object"]
+    if report.get("schema") != SCHEMA:
+        errors.append(f"schema must be {SCHEMA!r}, got {report.get('schema')!r}")
+    if not isinstance(report.get("seed"), int):
+        errors.append("seed must be an integer")
+    if not isinstance(report.get("smoke"), bool):
+        errors.append("smoke must be a boolean")
+    records = report.get("records")
+    if not isinstance(records, list) or not records:
+        return errors + ["records must be a non-empty list"]
+    for i, record in enumerate(records):
+        if not isinstance(record, dict):
+            errors.append(f"records[{i}] must be an object")
+            continue
+        for field, kind in RECORD_FIELDS.items():
+            value = record.get(field)
+            if kind is float:
+                ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+            elif kind is int:
+                ok = isinstance(value, int) and not isinstance(value, bool)
+            else:
+                ok = isinstance(value, kind)
+            if not ok:
+                errors.append(
+                    f"records[{i}].{field} must be {kind.__name__}, "
+                    f"got {value!r}"
+                )
+        for field in ("seconds", "dense_seconds", "speedup_vs_dense"):
+            value = record.get(field)
+            if isinstance(value, (int, float)) and value <= 0:
+                errors.append(f"records[{i}].{field} must be positive")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_repro.json",
+        help="report path (default: BENCH_repro.json at the repo root)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run CI-sized inputs (seconds instead of minutes)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--validate",
+        type=Path,
+        metavar="FILE",
+        help="validate an existing report against the schema and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate is not None:
+        try:
+            report = json.loads(args.validate.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{args.validate}: unreadable report: {exc}")
+            return 1
+        errors = validate_report(report)
+        for error in errors:
+            print(f"{args.validate}: {error}")
+        if errors:
+            return 1
+        print(f"{args.validate}: valid {SCHEMA} report "
+              f"({len(report['records'])} record(s))")
+        return 0
+
+    report = build_report(seed=args.seed, smoke=args.smoke)
+    for record in report["records"]:
+        print(
+            f"{record['kernel']}: {record['n_rects']} rects x "
+            f"{record['n_points']} points -> {record['seconds']:.3f}s "
+            f"(dense {record['dense_seconds']:.3f}s, "
+            f"{record['speedup_vs_dense']:.1f}x)"
+        )
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Spatial-acceleration kernels for the simulator and the model.
+
+The two compute-dominant paths of the reproduction — the §4 validation
+simulator and the data-driven access probabilities (Eq. 4) — both
+reduce to point-vs-rectangle problems over a *fixed* rect or point
+set.  This package holds the sub-quadratic kernels they run on:
+
+* :class:`GridStabbingIndex` / :func:`make_stabber` — uniform-grid
+  point stabbing: which rects contain each query point, as a
+  :class:`SparseContainment` CSR result (:class:`DenseStabber` is the
+  dense oracle);
+* :class:`SortedRangeCounter` / :func:`count_points_inside` — offline
+  sorted range counting: how many points fall inside each rect.
+
+Every kernel is *bit-exact* against its dense reference (closed
+boundaries, degenerate slivers included); ``auto`` modes select by
+input size and can be overridden.  See ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+from .grid import GridStabbingIndex, make_stabber
+from .rangecount import SortedRangeCounter, count_points_inside
+from .sparse import DenseStabber, SparseContainment
+
+__all__ = [
+    "DenseStabber",
+    "GridStabbingIndex",
+    "SortedRangeCounter",
+    "SparseContainment",
+    "count_points_inside",
+    "make_stabber",
+]

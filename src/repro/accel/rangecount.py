@@ -1,0 +1,210 @@
+"""Offline orthogonal range counting over a fixed point set.
+
+The data-driven query model (Eq. 4) needs, for every (expanded) node
+MBR, the number of data centres inside it.  The dense evaluation tests
+every centre against every rect — O(M·n) boolean cells, the dominant
+cost of the data-driven figures on large data sets.
+
+:class:`SortedRangeCounter` sorts the centres **once** and answers a
+whole batch of rects with searchsorted prefix cuts plus merge
+counting:
+
+* **1-D**: ``count = searchsorted(x, hi, 'right') −
+  searchsorted(x, lo, 'left')`` — two binary searches per rect.
+* **2-D**: sort points by x; a rect's x-slab is then a pair of prefix
+  lengths (``side='right'`` at ``hi_x`` keeps every ``px <= hi_x``,
+  ``side='left'`` at ``lo_x`` drops every ``px >= lo_x``), and the
+  rect count is an inclusion–exclusion of four *dominance* counts
+  ``#{px in prefix, py <= Y}``.  Dominance counts are answered by a
+  Fenwick-style binary decomposition of the prefix into aligned
+  power-of-two blocks whose y-values are pre-sorted (a binary indexed
+  mergesort tree): each query touches at most ``log2(n)`` blocks and
+  does one binary search per block, all lanes advancing together in
+  vectorised lock-step.
+
+Total cost O((M + n) · log² n) instead of O(M · n), and — because
+every comparison is the same exact float comparison the dense kernel
+performs — the counts are *bit-identical* to
+:meth:`RectArray.count_points_inside`.  Dimensions above 2 fall back
+to the chunked dense kernel (the paper's workloads are 2-D; the 3-D
+ablation stays on the oracle path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import GeometryError, RectArray
+
+__all__ = ["SortedRangeCounter", "count_points_inside"]
+
+_SORTED_MIN_CELLS = 1 << 22
+"""``method="auto"`` switches to the sorted kernel once the dense
+matrix would exceed this many ``n_rects * n_points`` cells."""
+
+COUNT_METHODS = ("auto", "sorted", "dense")
+"""Accepted values for the ``method`` argument of
+:func:`count_points_inside`."""
+
+
+class SortedRangeCounter:
+    """Reusable range-count structure over a fixed ``(n, d)`` point set.
+
+    Supports ``d <= 2``.  Build cost is O(n log n); each
+    :meth:`count` call costs O(m log² n) for ``m`` rects.  Counts are
+    bit-identical to the dense kernel (closed boundaries throughout).
+    """
+
+    def __init__(self, points: np.ndarray) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise GeometryError("points must be an (n, d) array")
+        if points.shape[1] > 2:
+            raise GeometryError(
+                "SortedRangeCounter supports 1-D and 2-D points only; "
+                "use the dense kernel for higher dimensions"
+            )
+        self.dim = int(points.shape[1])
+        self.n_points = int(points.shape[0])
+        order = np.argsort(points[:, 0], kind="stable")
+        self._xs = points[order, 0]
+        self._levels: list[np.ndarray] = []
+        self._n_levels = 0
+        if self.dim == 2:
+            ys = points[order, 1]
+            n = ys.shape[0]
+            # Number of bits needed to decompose any prefix length <= n.
+            self._n_levels = max(int(n - 1).bit_length(), 1) + 1 if n else 1
+            padded_n = 1 << (self._n_levels - 1)
+            for b in range(self._n_levels):
+                size = 1 << b
+                # Pad to a whole number of blocks with NaN: NaN compares
+                # False against everything, so padding never counts and
+                # np.sort parks it at the end of each block.
+                padded = np.full(padded_n + 1, np.nan)
+                padded[:n] = ys
+                blocks = padded[:padded_n].reshape(-1, size)
+                level = np.empty(padded_n + 1)
+                level[:padded_n] = np.sort(blocks, axis=1).ravel()
+                level[padded_n] = np.nan  # sentinel: safe overshoot reads
+                self._levels.append(level)
+
+    def _prefix_rank(
+        self, k: np.ndarray, y: np.ndarray, strict: bool
+    ) -> np.ndarray:
+        """``#{i < k : ys[i] <= y}`` (or ``< y`` when ``strict``).
+
+        ``k`` holds prefix lengths into the x-sorted y-array; the
+        Fenwick decomposition of each ``k`` visits at most one aligned
+        block per level, located purely from the bits of ``k`` (the
+        blocks for prefix ``[0, k)`` are, high bit first, exactly the
+        set bits of ``k``), so all queries advance level by level in
+        lock-step with a vectorised binary search inside each block.
+        """
+        total = np.zeros(k.shape[0], dtype=np.int64)
+        for b in range(self._n_levels):
+            sel = np.nonzero((k >> b) & 1)[0]
+            if sel.size == 0:
+                continue
+            size = 1 << b
+            # Offset of this block = the bits of k above b; aligned to
+            # a multiple of 2^(b+1), hence a whole block at level b.
+            base = (k[sel] >> (b + 1)) << (b + 1)
+            arr = self._levels[b]
+            yq = y[sel]
+            lo = np.zeros(sel.size, dtype=np.int64)
+            hi = np.full(sel.size, size, dtype=np.int64)
+            for _ in range(b + 1):
+                active = lo < hi
+                mid = (lo + hi) >> 1
+                v = arr[base + mid]
+                if strict:
+                    cond = active & (v < yq)
+                else:
+                    cond = active & (v <= yq)
+                lo = np.where(cond, mid + 1, lo)
+                hi = np.where(active & ~cond, mid, hi)
+            total[sel] += lo
+        return total
+
+    def count(self, rects: RectArray) -> np.ndarray:
+        """``(n_rects,)`` int64 count of points inside each rect."""
+        if rects.dim != self.dim:
+            raise GeometryError(
+                f"counter is {self.dim}-D but rects are {rects.dim}-D"
+            )
+        k_hi = np.searchsorted(self._xs, rects.hi[:, 0], side="right")
+        k_lo = np.searchsorted(self._xs, rects.lo[:, 0], side="left")
+        if self.dim == 1:
+            return (k_hi - k_lo).astype(np.int64)
+        # Inclusion–exclusion over the x-slab [k_lo, k_hi):
+        #   #{lo <= p <= hi} = #{py <= hi_y} − #{py < lo_y} within the slab.
+        below_hi = self._prefix_rank(
+            np.concatenate([k_hi, k_lo]),
+            np.concatenate([rects.hi[:, 1], rects.hi[:, 1]]),
+            strict=False,
+        )
+        below_lo = self._prefix_rank(
+            np.concatenate([k_hi, k_lo]),
+            np.concatenate([rects.lo[:, 1], rects.lo[:, 1]]),
+            strict=True,
+        )
+        m = len(rects)
+        inside_hi = below_hi[:m] - below_hi[m:]
+        inside_lo = below_lo[:m] - below_lo[m:]
+        return (inside_hi - inside_lo).astype(np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SortedRangeCounter(n={self.n_points}, dim={self.dim})"
+
+
+def count_points_inside(
+    rects: RectArray,
+    points: np.ndarray,
+    *,
+    method: str = "auto",
+    counter: SortedRangeCounter | None = None,
+) -> np.ndarray:
+    """Count ``points`` inside each rect, choosing a kernel by size.
+
+    Parameters
+    ----------
+    rects, points:
+        The rect set and the ``(n, d)`` point set (closed boundaries).
+    method:
+        ``"auto"`` uses the sorted kernel when ``d <= 2`` and the dense
+        matrix would exceed ``_SORTED_MIN_CELLS`` cells (or whenever a
+        prebuilt ``counter`` is supplied), the chunked dense kernel
+        otherwise; ``"sorted"`` / ``"dense"`` force the choice.
+    counter:
+        A prebuilt :class:`SortedRangeCounter` over ``points`` — lets
+        callers with a fixed point set (e.g. the data-driven workload's
+        centres) amortise the sort across many calls.
+
+    All kernels return bit-identical int64 counts.
+    """
+    if method not in COUNT_METHODS:
+        raise ValueError(
+            f"unknown count method {method!r}; choices: {COUNT_METHODS}"
+        )
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != rects.dim:
+        raise GeometryError("points must be (n_points, d)")
+    if method == "dense":
+        return rects.count_points_inside(points)
+    sortable = rects.dim <= 2
+    if method == "sorted":
+        if not sortable:
+            raise GeometryError(
+                "the sorted kernel supports 1-D and 2-D only; "
+                "use method='dense' for higher dimensions"
+            )
+    elif counter is None and not (
+        sortable and len(rects) * points.shape[0] >= _SORTED_MIN_CELLS
+    ):
+        return rects.count_points_inside(points)
+    if counter is None:
+        counter = SortedRangeCounter(points)
+    elif counter.dim != rects.dim or counter.n_points != points.shape[0]:
+        raise GeometryError("counter does not match the supplied points")
+    return counter.count(rects)

@@ -18,6 +18,10 @@ from .rect import GeometryError, Rect
 
 __all__ = ["RectArray"]
 
+_DENSE_CHUNK_CELLS = 16_000_000
+"""Point-chunk size (in boolean cells) for the dense containment
+kernels; bounds peak memory of intermediates to tens of megabytes."""
+
 
 class RectArray:
     """An immutable array of ``n`` axis-parallel rectangles in d dimensions.
@@ -31,7 +35,7 @@ class RectArray:
     return fresh arrays and never mutate ``self``.
     """
 
-    __slots__ = ("lo", "hi")
+    __slots__ = ("lo", "hi", "_hash")
 
     def __init__(self, lo: np.ndarray, hi: np.ndarray) -> None:
         lo = np.array(lo, dtype=np.float64, copy=True)
@@ -50,6 +54,7 @@ class RectArray:
         hi.setflags(write=False)
         self.lo = lo
         self.hi = hi
+        self._hash: int | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -128,7 +133,13 @@ class RectArray:
         )
 
     def __hash__(self) -> int:
-        return hash((self.lo.shape, self.lo.tobytes(), self.hi.tobytes()))
+        # tobytes() serialises both arrays, so the hash is computed at
+        # most once; the arrays are read-only, making it stable.
+        if self._hash is None:
+            self._hash = hash(
+                (self.lo.shape, self.lo.tobytes(), self.hi.tobytes())
+            )
+        return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"RectArray(n={len(self)}, dim={self.dim})"
@@ -257,15 +268,36 @@ class RectArray:
         """Boolean ``(n_points, n_rects)`` containment matrix.
 
         ``out[q, j]`` is True iff rectangle ``j`` contains point ``q``
-        (closed on all sides).  This is the inner loop of the §4
-        validation simulator, vectorised over a batch of queries.
+        (closed on all sides).  This is the dense oracle the sparse
+        kernels of :mod:`repro.accel` are verified against; peak
+        memory is bounded the same way :meth:`count_points_inside`
+        bounds it — the work proceeds in point chunks of ~16M cells
+        and one axis at a time, so the only full-size allocation is
+        the output matrix itself (never the ``(n_points, n_rects, d)``
+        broadcast temporaries, which would OOM on large trees during
+        equivalence tests).
         """
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2 or points.shape[1] != self.dim:
             raise GeometryError("points must be (n_points, d)")
-        ge = points[:, None, :] >= self.lo[None, :, :]
-        le = points[:, None, :] <= self.hi[None, :, :]
-        return np.all(ge & le, axis=2)
+        n_points = points.shape[0]
+        n_rects = len(self)
+        out = np.empty((n_points, n_rects), dtype=bool)
+        if n_points == 0 or n_rects == 0:
+            return out
+        chunk = max(1, _DENSE_CHUNK_CELLS // n_rects)
+        lo_t = self.lo.T
+        hi_t = self.hi.T
+        for start in range(0, n_points, chunk):
+            stop = min(start + chunk, n_points)
+            block = out[start:stop]
+            np.less_equal(lo_t[0], points[start:stop, 0, None], out=block)
+            for axis in range(1, self.dim):
+                coords = points[start:stop, axis, None]
+                block &= lo_t[axis] <= coords
+                block &= coords <= hi_t[axis]
+            block &= points[start:stop, 0, None] <= hi_t[0]
+        return out
 
     def count_points_inside(self, points: np.ndarray) -> np.ndarray:
         """``(n_rects,)`` count of ``points`` inside each rectangle.
@@ -282,7 +314,7 @@ class RectArray:
         if n_rects == 0 or points.shape[0] == 0:
             return counts
         # ~16M boolean cells per chunk keeps peak memory modest.
-        chunk = max(1, 16_000_000 // max(n_rects, 1))
+        chunk = max(1, _DENSE_CHUNK_CELLS // max(n_rects, 1))
         for start in range(0, points.shape[0], chunk):
             block = points[start : start + chunk]
             counts += self.contains_points(block).sum(axis=0)

@@ -24,6 +24,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from ..accel import SortedRangeCounter
+from ..accel import count_points_inside as _accel_count
 from ..geometry import GeometryError, Rect, RectArray, unit_rect
 
 __all__ = [
@@ -101,7 +103,12 @@ def raw_region_probabilities(
 
 
 def data_driven_probabilities(
-    rects: RectArray, centers: np.ndarray, extents: Sequence[float]
+    rects: RectArray,
+    centers: np.ndarray,
+    extents: Sequence[float],
+    *,
+    method: str = "auto",
+    counter: SortedRangeCounter | None = None,
 ) -> np.ndarray:
     """Access probabilities under the data-driven query model (Eq. 4).
 
@@ -114,6 +121,12 @@ def data_driven_probabilities(
 
     with ``y_ijk = 1`` iff centre ``k`` is inside ``R'_ij``.  With zero
     extents this degenerates to the point-query indicator ``x_ijk``.
+
+    The counting step runs on :func:`repro.accel.count_points_inside`:
+    ``method`` selects the kernel (``"auto"`` by size, ``"sorted"`` /
+    ``"dense"`` force it) and ``counter`` lets callers with a fixed
+    centre set amortise its sort across calls — all kernels are
+    bit-exact, so the probabilities do not depend on the choice.
     """
     extents = _validate_extents(extents, rects.dim)
     centers = np.asarray(centers, dtype=np.float64)
@@ -122,5 +135,5 @@ def data_driven_probabilities(
     if centers.shape[0] == 0:
         raise GeometryError("the data-driven model needs at least one center")
     expanded = rects.expanded_centered(extents)
-    counts = expanded.count_points_inside(centers)
+    counts = _accel_count(expanded, centers, method=method, counter=counter)
     return counts / centers.shape[0]

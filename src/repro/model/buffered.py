@@ -40,6 +40,19 @@ _MAX_FILL_QUERIES = 1 << 62
 filling (only reachable with access probabilities below ~1e-18)."""
 
 
+def _log_miss(probs: np.ndarray) -> np.ndarray:
+    """``log(1 − p)`` per node, computed stably (``-inf`` where p = 1)."""
+    with np.errstate(divide="ignore"):
+        return np.log1p(-probs)
+
+
+def _distinct_from_log(log_miss: np.ndarray, n_queries: int) -> float:
+    """``D(N)`` from precomputed ``log(1 − p)`` — the search hot path."""
+    if n_queries == 0:
+        return 0.0
+    return float(log_miss.size - np.sum(np.exp(n_queries * log_miss)))
+
+
 def expected_distinct_nodes(probs: np.ndarray, n_queries: int) -> float:
     """``D(N)`` — expected distinct nodes accessed in ``N`` queries (Eq. 5).
 
@@ -51,37 +64,52 @@ def expected_distinct_nodes(probs: np.ndarray, n_queries: int) -> float:
     probs = np.asarray(probs, dtype=np.float64)
     if n_queries < 0:
         raise ValueError("n_queries must be non-negative")
-    if n_queries == 0:
-        return 0.0
-    with np.errstate(divide="ignore"):
-        log_miss = np.log1p(-probs)  # -inf where p == 1
-    return float(probs.size - np.sum(np.exp(n_queries * log_miss)))
+    return _distinct_from_log(_log_miss(probs), n_queries)
 
 
-def queries_to_fill_buffer(probs: np.ndarray, buffer_pages: int) -> int | None:
+def queries_to_fill_buffer(
+    probs: np.ndarray, buffer_pages: int, *, lower_bound: int = 0
+) -> int | None:
     """``N*`` — the smallest ``N`` with ``D(N) >= buffer_pages``.
 
     Returns ``None`` when the buffer can never fill: fewer than
     ``buffer_pages`` nodes have positive access probability (every
     reachable node then stays resident and steady-state disk accesses
     are zero), or filling would take more than ``2**62`` queries.
+
+    ``log1p(-probs)`` is hoisted out of the search, so each of the
+    O(log N*) probes costs one ``exp`` pass instead of two transcendental
+    passes.  ``lower_bound`` seeds the bracket with an ``N`` already
+    known to leave the buffer unfilled (``D(lower_bound) <
+    buffer_pages``): :func:`buffer_model_sweep` passes the previous
+    size's ``N* − 1``, exploiting that ``N*`` is non-decreasing in the
+    buffer size.  An invalid hint is checked once and discarded.
     """
     probs = np.asarray(probs, dtype=np.float64)
     if buffer_pages < 1:
         raise ValueError("buffer_pages must be at least 1")
+    if lower_bound < 0:
+        raise ValueError("lower_bound must be non-negative")
     reachable = int(np.count_nonzero(probs > 0.0))
     if reachable < buffer_pages:
         return None
 
-    hi = 1
-    while expected_distinct_nodes(probs, hi) < buffer_pages:
-        hi <<= 1
+    log_miss = _log_miss(probs)
+    lo = lower_bound
+    if lo > 0 and _distinct_from_log(log_miss, lo) >= buffer_pages:
+        lo = 0  # stale hint: restore the bracket invariant
+    # Gallop upward from the bracket: D(lo) < buffer_pages <= D(hi).
+    step = 1
+    hi = lo + step
+    while _distinct_from_log(log_miss, hi) < buffer_pages:
+        lo = hi
+        step <<= 1
+        hi = lo + step
         if hi > _MAX_FILL_QUERIES:
             return None
-    lo = hi >> 1  # D(lo) < buffer_pages <= D(hi); lo = 0 when hi == 1
     while hi - lo > 1:
         mid = (lo + hi) // 2
-        if expected_distinct_nodes(probs, mid) >= buffer_pages:
+        if _distinct_from_log(log_miss, mid) >= buffer_pages:
             hi = mid
         else:
             lo = mid
@@ -207,8 +235,17 @@ def buffer_model_sweep(
     probs = probs_all[first_unpinned:]
     reachable = int(np.count_nonzero(probs > 0.0))
 
-    results = []
-    for buffer_size in buffer_sizes:
+    # Walk the sizes in ascending order: the effective buffer grows, so
+    # N* is non-decreasing and each binary search can start from the
+    # previous N* instead of from scratch; once one size's fill point
+    # exceeds the search cap, every larger size's does too.  Results
+    # are reported in the caller's original order.
+    results: list[BufferModelResult | None] = [None] * len(buffer_sizes)
+    order = sorted(range(len(buffer_sizes)), key=buffer_sizes.__getitem__)
+    last_n_star = 0
+    never_fills = False
+    for i in order:
+        buffer_size = buffer_sizes[i]
         effective = buffer_size - pinned_pages
         if probs.size == 0 or (effective > 0 and effective >= reachable):
             # Every reachable unpinned node eventually stays resident.
@@ -219,21 +256,26 @@ def buffer_model_sweep(
             # access is a disk access.
             n_star = None
             disk = float(np.sum(probs))
+        elif never_fills:
+            n_star = None
+            disk = 0.0
         else:
-            n_star = queries_to_fill_buffer(probs, effective)
+            n_star = queries_to_fill_buffer(
+                probs, effective, lower_bound=max(0, last_n_star - 1)
+            )
             if n_star is None:
+                never_fills = True
                 disk = 0.0
             else:
+                last_n_star = n_star
                 disk = steady_state_disk_accesses(probs, n_star)
-        results.append(
-            BufferModelResult(
-                disk_accesses=disk,
-                node_accesses=node_accesses,
-                n_star=n_star,
-                buffer_size=buffer_size,
-                pinned_levels=pinned_levels,
-                pinned_pages=pinned_pages,
-                total_nodes=desc.total_nodes,
-            )
+        results[i] = BufferModelResult(
+            disk_accesses=disk,
+            node_accesses=node_accesses,
+            n_star=n_star,
+            buffer_size=buffer_size,
+            pinned_levels=pinned_levels,
+            pinned_pages=pinned_pages,
+            total_nodes=desc.total_nodes,
         )
     return results

@@ -20,6 +20,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from ..accel import SortedRangeCounter
 from ..geometry import GeometryError, RectArray
 from ..model.access import (
     data_driven_probabilities,
@@ -141,6 +142,10 @@ class DataDrivenWorkload(QueryWorkload):
         if centers.shape[0] == 0:
             raise GeometryError("data-driven workloads need at least one center")
         self.centers = centers
+        # The centres never change, so the sorted range-count structure
+        # is built once (lazily) and shared by every access_probabilities
+        # call — fig7/fig8 sweep several query sizes over one centre set.
+        self._counter: SortedRangeCounter | None = None
 
     @classmethod
     def from_rects(
@@ -151,12 +156,24 @@ class DataDrivenWorkload(QueryWorkload):
             extents = (0.0,) * data.dim
         return cls(data.centers(), extents)
 
+    _COUNTER_MIN_POINTS = 1024
+    """Build the cached range counter only for centre sets at least
+    this large; tiny sets are cheaper on the dense kernel."""
+
     def access_probabilities(self, rects: RectArray) -> np.ndarray:
         if rects.dim != self.dim:
             raise GeometryError(
                 f"workload is {self.dim}-D but rects are {rects.dim}-D"
             )
-        return data_driven_probabilities(rects, self.centers, self.extents)
+        if (
+            self._counter is None
+            and self.dim <= 2
+            and self.centers.shape[0] >= self._COUNTER_MIN_POINTS
+        ):
+            self._counter = SortedRangeCounter(self.centers)
+        return data_driven_probabilities(
+            rects, self.centers, self.extents, counter=self._counter
+        )
 
     def transformed_rects(self, rects: RectArray) -> RectArray:
         if rects.dim != self.dim:

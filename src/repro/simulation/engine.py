@@ -13,6 +13,14 @@ single loop: sample representative points, find the containing
 Disk accesses are buffer misses; estimates carry batch-means confidence
 intervals exactly as in the paper.
 
+The containment step runs on the :mod:`repro.accel` layer: a point
+stabber is built once per transformed rect set (a uniform grid above a
+size threshold, the dense matrix below — ``accel=`` overrides) and
+returns per-query candidate id lists in CSR form, so the buffer loop
+only ever touches the already-sparse lists.  Both backends produce
+byte-identical id sequences (ascending = level-major = top-down), so
+traces, sinks, and measured statistics do not depend on the backend.
+
 Observability: measurement batches are bracketed by
 ``BufferStats.reset()`` so every batch's counters are independent
 (``SimulationResult.batch_stats``), and passing a
@@ -28,6 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..accel import make_stabber
 from ..buffer import BufferPool, BufferStats, POLICIES
 from ..obs import LevelStats, LevelStatsTable, MetricsRegistry, QueryTrace, QueryTraceEntry
 from ..queries.mixed import MixedWorkload
@@ -86,6 +95,7 @@ def simulate(
     rng: np.random.Generator | int | None = None,
     registry: MetricsRegistry | None = None,
     trace_last: int = 0,
+    accel: str = "auto",
 ) -> SimulationResult:
     """Simulate the buffer and measure disk accesses per query.
 
@@ -125,6 +135,11 @@ def simulate(
     trace_last:
         Retain the last this-many queries' touched node ids and miss
         sets on ``SimulationResult.trace`` (0 disables tracing).
+    accel:
+        Containment backend: ``"auto"`` (grid index for large rect
+        sets, dense below the size threshold), ``"grid"``, or
+        ``"dense"``.  All backends are bit-exact, so every measured
+        statistic is independent of this choice.
     """
     if n_batches < 2:
         raise ValueError("need at least two batches for confidence intervals")
@@ -141,8 +156,10 @@ def simulate(
 
     if isinstance(workload, MixedWorkload):
         transformed = workload.component_transforms(desc.all_rects)
+        stabber = [make_stabber(t, mode=accel) for t in transformed]
     else:
         transformed = workload.transformed_rects(desc.all_rects)
+        stabber = make_stabber(transformed, mode=accel)
     pinned_ids = range(desc.level_offsets[pinned_levels])
     buffer = _make_buffer(policy, buffer_size, pinned_ids, rng)
 
@@ -160,13 +177,13 @@ def simulate(
     if warmup_queries is None:
         while not buffer.is_full() and warmed < warmup_cap:
             step = min(_CHUNK, warmup_cap - warmed)
-            _run_queries(buffer, transformed, workload, rng, step, trace)
+            _run_queries(buffer, stabber, workload, rng, step, trace)
             warmed += step
     else:
         remaining = warmup_queries
         while remaining > 0:
             step = min(_CHUNK, remaining)
-            _run_queries(buffer, transformed, workload, rng, step, trace)
+            _run_queries(buffer, stabber, workload, rng, step, trace)
             warmed += step
             remaining -= step
     buffer_filled = buffer.is_full()
@@ -190,7 +207,7 @@ def simulate(
         remaining = batch_size
         while remaining > 0:
             step = min(_CHUNK, remaining)
-            _run_queries(buffer, transformed, workload, rng, step, trace)
+            _run_queries(buffer, stabber, workload, rng, step, trace)
             remaining -= step
         snapshot = buffer.stats.snapshot()
         batch_snapshots.append(snapshot)
@@ -251,7 +268,7 @@ def _make_buffer(
 
 def _run_queries(
     buffer: BufferPool,
-    transformed,
+    stabber,
     workload,
     rng: np.random.Generator,
     count: int,
@@ -259,29 +276,29 @@ def _run_queries(
 ) -> tuple[int, int]:
     """Run ``count`` queries through the buffer; return (misses, accesses).
 
-    Node ids come out of ``nonzero`` in ascending (level-major) order,
+    ``stabber`` answers point-stabbing queries in CSR form (one per
+    component for mixtures); node ids arrive ascending (level-major),
     i.e. top-down, matching a recursive traversal's request order.
     When ``trace`` is given, each query's touched ids and miss set are
     recorded in the ring buffer (slower: only used when tracing).
     """
     if isinstance(workload, MixedWorkload):
-        contains = _mixed_containment(transformed, workload, rng, count)
+        rows = _mixed_rows(stabber, workload, rng, count)
     else:
         points = workload.sample_points(count, rng)
-        contains = transformed.contains_points(points)
+        rows = stabber.stab(points).iter_rows()
     request = buffer.request
     misses = 0
     accesses = 0
     if trace is not None:
-        for row in contains:
-            touched = [int(i) for i in np.nonzero(row)[0]]
+        for ids in rows:
+            touched = [int(i) for i in ids]
             missed = [i for i in touched if not request(i)]
             accesses += len(touched)
             misses += len(missed)
             trace.record(touched, missed)
         return misses, accesses
-    for row in contains:
-        ids = np.nonzero(row)[0]
+    for ids in rows:
         accesses += ids.size
         for node_id in ids:
             if not request(int(node_id)):
@@ -289,22 +306,27 @@ def _run_queries(
     return misses, accesses
 
 
-def _mixed_containment(
-    transforms,
+def _mixed_rows(
+    stabbers,
     workload: MixedWorkload,
     rng: np.random.Generator,
     count: int,
-) -> np.ndarray:
-    """Containment rows for a mixture: each query is drawn from one
-    component and tested against that component's transformed MBRs,
+) -> list[np.ndarray]:
+    """Per-query id lists for a mixture: each query is drawn from one
+    component and stabbed against that component's transformed MBRs,
     with the original query order preserved for the buffer."""
     assignments = workload.sample_assignments(count, rng)
-    n_rects = len(transforms[0])
-    contains = np.zeros((count, n_rects), dtype=bool)
+    rows: list[np.ndarray] = [_EMPTY_IDS] * count
     for c, component in enumerate(workload.workloads):
         idx = np.nonzero(assignments == c)[0]
         if idx.size == 0:
             continue
         points = component.sample_points(idx.size, rng)
-        contains[idx] = transforms[c].contains_points(points)
-    return contains
+        sparse = stabbers[c].stab(points)
+        for j, q in enumerate(idx):
+            rows[q] = sparse.row(j)
+    return rows
+
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+"""Shared empty row for mixture components with no queries."""

@@ -1,0 +1,123 @@
+"""The benchmark harness emits (and enforces) the committed schema."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+spec = importlib.util.spec_from_file_location(
+    "bench_kernels", REPO_ROOT / "benchmarks" / "bench_kernels.py"
+)
+bench = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench)
+
+
+def valid_record() -> dict:
+    return {
+        "kernel": "point_stab",
+        "n_rects": 100,
+        "n_points": 50,
+        "seconds": 0.5,
+        "ops_per_s": 10000.0,
+        "unit": "pair-tests/s",
+        "dense_seconds": 2.0,
+        "speedup_vs_dense": 4.0,
+    }
+
+
+def valid_report() -> dict:
+    return {
+        "schema": bench.SCHEMA,
+        "seed": 0,
+        "smoke": True,
+        "records": [valid_record()],
+    }
+
+
+class TestValidateReport:
+    def test_valid_report_passes(self):
+        assert bench.validate_report(valid_report()) == []
+
+    def test_non_object_rejected(self):
+        assert bench.validate_report([1, 2]) != []
+
+    def test_wrong_schema_rejected(self):
+        report = valid_report()
+        report["schema"] = "repro-bench/999"
+        assert any("schema" in e for e in bench.validate_report(report))
+
+    def test_empty_records_rejected(self):
+        report = valid_report()
+        report["records"] = []
+        assert bench.validate_report(report) != []
+
+    @pytest.mark.parametrize("field", sorted(bench.RECORD_FIELDS))
+    def test_missing_field_rejected(self, field):
+        report = valid_report()
+        del report["records"][0][field]
+        assert any(field in e for e in bench.validate_report(report))
+
+    def test_bool_does_not_pass_as_int(self):
+        report = valid_report()
+        report["records"][0]["n_rects"] = True
+        assert any("n_rects" in e for e in bench.validate_report(report))
+
+    @pytest.mark.parametrize(
+        "field", ["seconds", "dense_seconds", "speedup_vs_dense"]
+    )
+    def test_nonpositive_timing_rejected(self, field):
+        report = valid_report()
+        report["records"][0][field] = 0.0
+        assert any(field in e for e in bench.validate_report(report))
+
+
+class TestCommittedReport:
+    def test_committed_report_is_valid(self):
+        path = REPO_ROOT / "BENCH_repro.json"
+        report = json.loads(path.read_text())
+        assert bench.validate_report(report) == []
+
+    def test_committed_report_meets_issue_thresholds(self):
+        report = json.loads((REPO_ROOT / "BENCH_repro.json").read_text())
+        by_kernel = {r["kernel"]: r for r in report["records"]}
+        data_driven = by_kernel["data_driven_access_probabilities"]
+        assert data_driven["n_rects"] >= 100_000
+        assert data_driven["speedup_vs_dense"] >= 5.0
+        sim = by_kernel["simulator_query_throughput"]
+        assert sim["n_rects"] >= 50_000
+        assert sim["speedup_vs_dense"] >= 3.0
+
+
+class TestBuildReport:
+    def test_smoke_report_validates(self):
+        # Tiny bespoke sizes: exercises every kernel pair end to end.
+        rng_seed = 3
+        report = {
+            "schema": bench.SCHEMA,
+            "seed": rng_seed,
+            "smoke": True,
+            "records": [
+                bench._bench_data_driven(_rng(rng_seed), 200, 200),
+                bench._bench_point_stab(_rng(rng_seed), 200, 100),
+                bench._bench_sim_throughput(_rng(rng_seed), 200, 100),
+            ],
+        }
+        assert bench.validate_report(report) == []
+
+    def test_main_validate_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(valid_report()))
+        assert bench.main(["--validate", str(path)]) == 0
+        path.write_text(json.dumps({"schema": "nope"}))
+        assert bench.main(["--validate", str(path)]) == 1
+
+
+def _rng(seed: int):
+    import numpy as np
+
+    return np.random.default_rng(seed)

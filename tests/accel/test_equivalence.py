@@ -1,0 +1,156 @@
+"""Property-based equivalence: sparse kernels == dense oracles, exactly.
+
+The accel layer's contract is *bit-exactness*: the grid stabber and the
+sorted range counter must return precisely what the dense containment
+matrix returns, on every input — including boundary-touching points
+(closed boundaries), zero-area slivers, and duplicate rectangles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.accel import (
+    DenseStabber,
+    GridStabbingIndex,
+    SortedRangeCounter,
+    count_points_inside,
+    make_stabber,
+)
+from repro.geometry import RectArray
+from tests.conftest import random_rects
+
+unit_floats = st.floats(min_value=0.0, max_value=1.0, width=64)
+
+
+@st.composite
+def rect_arrays(draw, max_n: int = 16, dim: int = 2) -> RectArray:
+    """Random boxes in the unit cube; spans may be zero (slivers)."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    lo = draw(arrays(np.float64, (n, dim), elements=unit_floats))
+    span = draw(arrays(np.float64, (n, dim), elements=unit_floats))
+    return RectArray(lo, np.minimum(lo + span, 1.0))
+
+
+@st.composite
+def points_arrays(draw, max_n: int = 16, dim: int = 2) -> np.ndarray:
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    return draw(arrays(np.float64, (n, dim), elements=unit_floats))
+
+
+def assert_same_stab(rects: RectArray, points: np.ndarray) -> None:
+    grid = GridStabbingIndex(rects).stab(points)
+    dense = DenseStabber(rects).stab(points)
+    assert np.array_equal(grid.indptr, dense.indptr)
+    assert np.array_equal(grid.ids, dense.ids)
+
+
+class TestGridEqualsDense:
+    @settings(max_examples=60)
+    @given(rect_arrays(), points_arrays())
+    def test_random(self, rects, points):
+        assert_same_stab(rects, points)
+
+    @settings(max_examples=40)
+    @given(rect_arrays())
+    def test_boundary_touching_points(self, rects):
+        # Query exactly the corners: closed boundaries must count.
+        points = np.concatenate([rects.lo, rects.hi])
+        assert_same_stab(rects, points)
+
+    @settings(max_examples=40)
+    @given(points_arrays(max_n=8))
+    def test_zero_area_rects(self, points):
+        # Degenerate slivers: lo == hi, containable only by exact hits.
+        rects = RectArray(points, points.copy())
+        queries = np.concatenate([points, points + 1e-9])
+        assert_same_stab(rects, queries)
+
+    @settings(max_examples=40)
+    @given(rect_arrays(max_n=6), points_arrays())
+    def test_duplicate_rects(self, rects, points):
+        tiled = RectArray(
+            np.tile(rects.lo, (3, 1)), np.tile(rects.hi, (3, 1))
+        )
+        assert_same_stab(tiled, points)
+
+    def test_large_random(self, rng):
+        rects = random_rects(rng, 5000, max_side=0.05)
+        points = rng.random((2000, 2))
+        assert_same_stab(rects, points)
+
+    def test_pathological_full_cover(self, rng):
+        # Every rect covers the whole square: the entry cap must
+        # coarsen the grid rather than explode, and stay exact.
+        n = 64
+        rects = RectArray(np.zeros((n, 2)), np.ones((n, 2)))
+        assert_same_stab(rects, rng.random((50, 2)))
+
+    def test_auto_mode_picks_dense_for_small_sets(self, rng):
+        stabber = make_stabber(random_rects(rng, 10), mode="auto")
+        assert isinstance(stabber, DenseStabber)
+
+    def test_auto_mode_picks_grid_for_large_sets(self, rng):
+        stabber = make_stabber(random_rects(rng, 5000), mode="auto")
+        assert isinstance(stabber, GridStabbingIndex)
+
+
+def assert_same_count(rects: RectArray, points: np.ndarray) -> None:
+    fast = count_points_inside(rects, points, method="sorted")
+    dense = count_points_inside(rects, points, method="dense")
+    assert fast.dtype == dense.dtype
+    assert np.array_equal(fast, dense)
+
+
+class TestSortedCountEqualsDense:
+    @settings(max_examples=60)
+    @given(rect_arrays(), points_arrays())
+    def test_random(self, rects, points):
+        assert_same_count(rects, points)
+
+    @settings(max_examples=40)
+    @given(rect_arrays())
+    def test_boundary_touching_points(self, rects):
+        points = np.concatenate([rects.lo, rects.hi])
+        assert_same_count(rects, points)
+
+    @settings(max_examples=40)
+    @given(points_arrays(max_n=8))
+    def test_zero_area_rects(self, points):
+        rects = RectArray(points, points.copy())
+        assert_same_count(rects, np.concatenate([points, points + 1e-9]))
+
+    @settings(max_examples=40)
+    @given(rect_arrays(max_n=6), points_arrays())
+    def test_duplicate_rects(self, rects, points):
+        tiled = RectArray(
+            np.tile(rects.lo, (3, 1)), np.tile(rects.hi, (3, 1))
+        )
+        assert_same_count(tiled, points)
+
+    @settings(max_examples=40)
+    @given(rect_arrays(max_n=6))
+    def test_duplicate_points(self, rects):
+        points = np.tile(rects.centers(), (4, 1))
+        assert_same_count(rects, points)
+
+    def test_large_random(self, rng):
+        rects = random_rects(rng, 3000)
+        points = rng.random((4097, 2))  # off power-of-two on purpose
+        assert_same_count(rects, points)
+
+    def test_1d(self, rng):
+        lo = rng.random((20, 1))
+        rects = RectArray(lo, lo + rng.random((20, 1)) * 0.2)
+        assert_same_count(rects, rng.random((33, 1)))
+
+    def test_reused_counter_matches(self, rng):
+        rects = random_rects(rng, 50)
+        points = rng.random((200, 2))
+        counter = SortedRangeCounter(points)
+        fast = count_points_inside(rects, points, counter=counter)
+        assert np.array_equal(
+            fast, count_points_inside(rects, points, method="dense")
+        )

@@ -30,8 +30,12 @@ class TestLoadConfig:
         config = load_config(repo_root / "pyproject.toml")
         assert config.paths == ("src",)
         assert "tests/analysis/fixtures" in config.exclude
-        assert config.float_eq_paths == ("repro/geometry/", "repro/model/")
-        assert config.kernel_paths == ("repro/geometry/", "repro/packing/")
+        assert config.float_eq_paths == (
+            "repro/accel/", "repro/geometry/", "repro/model/"
+        )
+        assert config.kernel_paths == (
+            "repro/accel/", "repro/geometry/", "repro/packing/"
+        )
 
     def test_missing_file_yields_defaults(self, tmp_path):
         assert load_config(tmp_path / "nope.toml") == Config()

@@ -1,0 +1,66 @@
+"""The RectArray perf satellites: hash caching and chunked containment."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import RectArray
+import repro.geometry.rectarray as rectarray_module
+from tests.conftest import random_rects
+
+
+class TestHashCache:
+    def test_hash_is_stable(self, rng):
+        rects = random_rects(rng, 10)
+        assert hash(rects) == hash(rects)
+
+    def test_equal_arrays_hash_equal(self, rng):
+        rects = random_rects(rng, 10)
+        clone = RectArray(rects.lo.copy(), rects.hi.copy())
+        assert hash(rects) == hash(clone)
+
+    def test_second_hash_reads_the_cache(self, rng):
+        # Plant a sentinel in the cache slot: if __hash__ re-serialized
+        # the coordinate arrays it would overwrite (and not return) it.
+        rects = random_rects(rng, 10)
+        hash(rects)
+        rects._hash = 12345
+        assert hash(rects) == 12345
+
+    def test_cache_starts_empty(self, rng):
+        rects = random_rects(rng, 4)
+        assert rects._hash is None
+        hash(rects)
+        assert rects._hash is not None
+
+
+class TestChunkedContainsPoints:
+    def test_chunked_equals_single_block(self, rng, monkeypatch):
+        rects = random_rects(rng, 37)
+        points = rng.random((101, 2))
+        whole = rects.contains_points(points)
+        # Force many tiny chunks: the result must be byte-identical.
+        monkeypatch.setattr(rectarray_module, "_DENSE_CHUNK_CELLS", 64)
+        chunked = rects.contains_points(points)
+        assert np.array_equal(whole, chunked)
+
+    def test_chunk_never_below_one_point(self, rng, monkeypatch):
+        # More rects than the cell budget: chunk clamps to 1 point.
+        rects = random_rects(rng, 50)
+        points = rng.random((7, 2))
+        whole = rects.contains_points(points)
+        monkeypatch.setattr(rectarray_module, "_DENSE_CHUNK_CELLS", 1)
+        assert np.array_equal(whole, rects.contains_points(points))
+
+    def test_empty_inputs(self, rng):
+        rects = random_rects(rng, 5)
+        assert rects.contains_points(np.empty((0, 2))).shape == (0, 5)
+        empty = RectArray(np.empty((0, 2)), np.empty((0, 2)))
+        assert empty.contains_points(rng.random((3, 2))).shape == (3, 0)
+
+    def test_boundaries_closed_in_3d(self, rng):
+        lo = rng.random((6, 3)) * 0.5
+        rects = RectArray(lo, lo + 0.2)
+        matrix = rects.contains_points(np.concatenate([rects.lo, rects.hi]))
+        assert matrix[np.arange(6), np.arange(6)].all()
+        assert matrix[np.arange(6) + 6, np.arange(6)].all()

@@ -252,3 +252,71 @@ class TestBufferModel:
                     break
                 pinned = buffer_model(desc, w, b, pinned_levels=levels).disk_accesses
                 assert pinned <= base + 1e-9
+
+
+class TestLowerBoundHint:
+    """``lower_bound`` seeds the N* bracket without changing answers."""
+
+    def test_valid_hint_matches_unhinted(self, rng):
+        probs = rng.random(200) * 0.05
+        for pages in (5, 20, 80):
+            n_star = queries_to_fill_buffer(probs, pages)
+            for hint in (0, 1, n_star // 2, max(0, n_star - 1)):
+                assert (
+                    queries_to_fill_buffer(probs, pages, lower_bound=hint)
+                    == n_star
+                )
+
+    def test_stale_hint_is_discarded(self, rng):
+        # A hint beyond N* violates the bracket invariant; the search
+        # must detect it and restart rather than return a wrong N*.
+        probs = rng.random(200) * 0.05
+        n_star = queries_to_fill_buffer(probs, 20)
+        assert n_star is not None
+        assert (
+            queries_to_fill_buffer(probs, 20, lower_bound=n_star + 1000)
+            == n_star
+        )
+
+    def test_negative_hint_rejected(self):
+        with pytest.raises(ValueError):
+            queries_to_fill_buffer(np.array([0.5]), 1, lower_bound=-1)
+
+
+class TestSweepBracketReuse:
+    """The sweep walks sizes in ascending order reusing the previous N*."""
+
+    def test_unsorted_sizes_match_per_size_model(self, desc):
+        w = UniformRegionWorkload((0.05, 0.05))
+        sizes = (200, 10, 50, 400, 10, 25)
+        swept = buffer_model_sweep(desc, w, sizes)
+        for size, result in zip(sizes, swept):
+            single = buffer_model(desc, w, size)
+            assert result.buffer_size == size
+            assert result.n_star == single.n_star
+            assert result.disk_accesses == pytest.approx(single.disk_accesses)
+
+    def test_n_star_monotone_in_buffer_size(self, desc):
+        w = UniformPointWorkload()
+        sizes = tuple(range(10, 200, 17))
+        swept = buffer_model_sweep(desc, w, sizes)
+        n_stars = [r.n_star for r in swept if r.n_star is not None]
+        assert n_stars == sorted(n_stars)
+
+    def test_never_fills_short_circuit(self, rng):
+        # Once one size never fills, all larger sizes must also report
+        # never-fills with zero steady-state disk accesses.
+        data = random_rects(rng, 256)
+        desc = pack_description(data, capacity=16, ordering="hs")
+        w = UniformRegionWorkload((0.01, 0.01))
+        reachable = int(
+            np.count_nonzero(w.access_probabilities(desc.all_rects) > 0.0)
+        )
+        sizes = (reachable // 2, reachable, reachable + 5, desc.total_nodes)
+        swept = buffer_model_sweep(desc, w, sizes)
+        for size, result in zip(sizes, swept):
+            single = buffer_model(desc, w, size)
+            assert result.n_star == single.n_star
+            assert result.disk_accesses == pytest.approx(single.disk_accesses)
+        assert swept[-1].n_star is None
+        assert swept[-1].disk_accesses == 0.0
