@@ -43,6 +43,11 @@ from repro.accel import DenseStabber, GridStabbingIndex, SortedRangeCounter
 from repro.buffer import LRUBuffer
 from repro.geometry import RectArray
 from repro.model.access import data_driven_probabilities
+from repro.obs.history import (
+    BENCH_SCHEMA,
+    RECORD_FIELDS,
+    validate_bench_report,
+)
 
 __all__ = [
     "RECORD_FIELDS",
@@ -52,19 +57,8 @@ __all__ = [
     "validate_report",
 ]
 
-SCHEMA = "repro-bench/1"
-
-RECORD_FIELDS = {
-    "kernel": str,
-    "n_rects": int,
-    "n_points": int,
-    "seconds": float,
-    "ops_per_s": float,
-    "unit": str,
-    "dense_seconds": float,
-    "speedup_vs_dense": float,
-}
-"""Required fields (and types) of every record in a report."""
+SCHEMA = BENCH_SCHEMA
+"""Report schema tag (canonical home: :mod:`repro.obs.history`)."""
 
 _QUERY_CHUNK = 4096
 """Queries per stab batch in the simulator-loop benchmark (matches
@@ -240,41 +234,12 @@ def build_report(seed: int = 0, smoke: bool = False) -> dict:
 
 
 def validate_report(report: object) -> list[str]:
-    """Schema errors in a parsed report (empty list = valid)."""
-    errors: list[str] = []
-    if not isinstance(report, dict):
-        return ["report must be a JSON object"]
-    if report.get("schema") != SCHEMA:
-        errors.append(f"schema must be {SCHEMA!r}, got {report.get('schema')!r}")
-    if not isinstance(report.get("seed"), int):
-        errors.append("seed must be an integer")
-    if not isinstance(report.get("smoke"), bool):
-        errors.append("smoke must be a boolean")
-    records = report.get("records")
-    if not isinstance(records, list) or not records:
-        return errors + ["records must be a non-empty list"]
-    for i, record in enumerate(records):
-        if not isinstance(record, dict):
-            errors.append(f"records[{i}] must be an object")
-            continue
-        for field, kind in RECORD_FIELDS.items():
-            value = record.get(field)
-            if kind is float:
-                ok = isinstance(value, (int, float)) and not isinstance(value, bool)
-            elif kind is int:
-                ok = isinstance(value, int) and not isinstance(value, bool)
-            else:
-                ok = isinstance(value, kind)
-            if not ok:
-                errors.append(
-                    f"records[{i}].{field} must be {kind.__name__}, "
-                    f"got {value!r}"
-                )
-        for field in ("seconds", "dense_seconds", "speedup_vs_dense"):
-            value = record.get(field)
-            if isinstance(value, (int, float)) and value <= 0:
-                errors.append(f"records[{i}].{field} must be positive")
-    return errors
+    """Schema errors in a parsed report (empty list = valid).
+
+    Delegates to :func:`repro.obs.history.validate_bench_report` — the
+    ledger owns the schema, so the producer can never drift from it.
+    """
+    return validate_bench_report(report)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -1,19 +1,24 @@
 """Benchmark guard: the no-op observability path costs ~nothing.
 
-Two pytest-benchmark cases drive the same LRU request stream with and
+Pytest-benchmark cases drive the same LRU request stream with and
 without a :class:`~repro.obs.NullSink` attached, plus one with the
-real per-level sink for scale.  Run with::
+real per-level sink for scale; a second group times a short
+``simulate()`` with the span tracer disabled, enabled, and stubbed
+out entirely.  Run with::
 
     pytest benchmarks/test_obs_overhead.py --benchmark-only
 
-The assertion mirrors ``tests/obs/test_overhead.py`` (kept there too
-so tier-1 enforces it without the benchmark plugin's orchestration).
+The assertions mirror ``tests/obs/test_overhead.py`` (kept there too
+so tier-1 enforces them without the benchmark plugin's orchestration).
 """
 
 from __future__ import annotations
 
 from repro.buffer import LRUBuffer
-from repro.obs import LevelStatsTable, NullSink
+from repro.obs import NULL_SPAN, LevelStatsTable, NullSink, Tracer, use_tracer
+from repro.queries import UniformPointWorkload
+from repro.simulation import simulate
+from tests.obs.test_levels import two_level_description
 
 _PAGES = [i % 80 for i in range(5000)]
 _OFFSETS = (0, 1, 10, 80)
@@ -47,3 +52,40 @@ def test_request_loop_level_sink(benchmark):
     totals = table.totals()
     assert totals.requests > 0
     assert totals.hits + totals.misses == totals.requests
+
+
+def _simulate_once() -> float:
+    result = simulate(
+        two_level_description(),
+        UniformPointWorkload(),
+        buffer_size=3,
+        n_batches=2,
+        batch_size=300,
+    )
+    return result.node_accesses.mean
+
+
+def test_simulate_tracer_disabled(benchmark):
+    # The shipped default: no tracer installed, span() returns the
+    # NULL_SPAN singleton at every instrumented phase.
+    assert benchmark(_simulate_once) > 0
+
+
+def test_simulate_tracer_stubbed(benchmark, monkeypatch):
+    # "The instrumentation was never written" baseline for the
+    # disabled case above.
+    import repro.simulation.engine as engine
+
+    monkeypatch.setattr(engine, "span", lambda name, **attrs: NULL_SPAN)
+    assert benchmark(_simulate_once) > 0
+
+
+def test_simulate_tracer_enabled(benchmark):
+    # Scale reference: a live tracer recording phase/batch spans.
+    tracer = Tracer()
+    previous = use_tracer(tracer)
+    try:
+        assert benchmark(_simulate_once) > 0
+    finally:
+        use_tracer(previous)
+    assert len(tracer) > 0

@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..geometry import GeometryError, RectArray
+from ..obs.spans import span
 from .sparse import DenseStabber, SparseContainment
 
 __all__ = ["GridStabbingIndex", "make_stabber"]
@@ -281,5 +282,7 @@ def make_stabber(
             f"unknown stabber mode {mode!r}; choices: {STABBER_MODES}"
         )
     if mode == "grid" or (mode == "auto" and len(rects) >= _GRID_MIN_RECTS):
-        return GridStabbingIndex(rects)
-    return DenseStabber(rects)
+        with span("accel.build", backend="grid", n_rects=len(rects)):
+            return GridStabbingIndex(rects)
+    with span("accel.build", backend="dense", n_rects=len(rects)):
+        return DenseStabber(rects)

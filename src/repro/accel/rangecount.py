@@ -35,6 +35,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..geometry import GeometryError, RectArray
+from ..obs.spans import span
 
 __all__ = ["SortedRangeCounter", "count_points_inside"]
 
@@ -191,7 +192,13 @@ def count_points_inside(
     if points.ndim != 2 or points.shape[1] != rects.dim:
         raise GeometryError("points must be (n_points, d)")
     if method == "dense":
-        return rects.count_points_inside(points)
+        with span(
+            "accel.count",
+            backend="dense",
+            n_rects=len(rects),
+            n_points=points.shape[0],
+        ):
+            return rects.count_points_inside(points)
     sortable = rects.dim <= 2
     if method == "sorted":
         if not sortable:
@@ -202,9 +209,22 @@ def count_points_inside(
     elif counter is None and not (
         sortable and len(rects) * points.shape[0] >= _SORTED_MIN_CELLS
     ):
-        return rects.count_points_inside(points)
+        with span(
+            "accel.count",
+            backend="dense",
+            n_rects=len(rects),
+            n_points=points.shape[0],
+        ):
+            return rects.count_points_inside(points)
     if counter is None:
-        counter = SortedRangeCounter(points)
+        with span("accel.counter_build", n_points=points.shape[0]):
+            counter = SortedRangeCounter(points)
     elif counter.dim != rects.dim or counter.n_points != points.shape[0]:
         raise GeometryError("counter does not match the supplied points")
-    return counter.count(rects)
+    with span(
+        "accel.count",
+        backend="sorted",
+        n_rects=len(rects),
+        n_points=points.shape[0],
+    ):
+        return counter.count(rects)

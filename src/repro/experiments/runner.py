@@ -9,6 +9,15 @@ the slow one — it simulates; its budget is controlled by the
 document per experiment — its result data, wall-clock timing, and an
 instrumented probe simulation's per-level buffer breakdown and query
 trace (see ``docs/OBSERVABILITY.md`` for the schema).
+
+``--trace-out PATH`` installs a process-wide span tracer for the whole
+run: one root span per experiment, nested phase spans from the
+simulator, model, accel and packing layers, exported as Chrome
+trace-event JSON (drop the file on https://ui.perfetto.dev) plus a
+folded flamegraph text file at ``PATH`` + ``.folded`` (or
+``--trace-folded``).  ``--profile`` layers ``tracemalloc`` on top:
+spans gain ``mem_delta_kb`` tags and the export embeds a
+top-allocation-sites report under ``"profile"``.
 """
 
 from __future__ import annotations
@@ -20,9 +29,15 @@ from typing import Callable
 
 from ..obs import (
     MetricsRegistry,
+    Profiler,
+    Tracer,
     experiment_document,
     metrics_report,
     simulation_section,
+    span,
+    use_tracer,
+    write_chrome_trace,
+    write_folded,
     write_report,
 )
 from . import fig5, fig6, fig7, fig8, fig9, fig10, fig11, table1, table2
@@ -80,6 +95,33 @@ def main(argv: list[str] | None = None) -> int:
             "an instrumented probe simulation)"
         ),
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "trace the run and write Chrome trace-event JSON "
+            "(Perfetto-loadable; a folded flamegraph lands next to it)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-folded",
+        metavar="PATH",
+        default=None,
+        help=(
+            "where to write the folded flamegraph text "
+            "(default: TRACE_OUT + '.folded')"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "profile allocations with tracemalloc: spans gain "
+            "mem_delta_kb tags and the trace export embeds a "
+            "top-allocation-sites report (slower; implies tracing)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     names = list(EXPERIMENTS) if "all" in args.names else args.names
@@ -87,27 +129,45 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
-    failed: list[str] = []
-    documents: list[dict[str, object]] = []
-    for name in names:
-        start = time.perf_counter()
-        try:
-            result = EXPERIMENTS[name]()
-        except Exception as exc:
+    tracer: Tracer | None = None
+    profiler: Profiler | None = None
+    previous_tracer: Tracer | None = None
+    if args.trace_out is not None or args.profile:
+        tracer = Tracer()
+        previous_tracer = use_tracer(tracer)
+        if args.profile:
+            profiler = Profiler()
+            profiler.start()
+            profiler.attach(tracer)
+
+    try:
+        failed: list[str] = []
+        documents: list[dict[str, object]] = []
+        for name in names:
+            start = time.perf_counter()
+            try:
+                with span("experiment", experiment=name):
+                    result = EXPERIMENTS[name]()
+            except Exception as exc:
+                elapsed = time.perf_counter() - start
+                print(
+                    f"[{name} FAILED after {elapsed:.1f}s: "
+                    f"{type(exc).__name__}: {exc}]",
+                    file=sys.stderr,
+                )
+                failed.append(name)
+                continue
             elapsed = time.perf_counter() - start
-            print(
-                f"[{name} FAILED after {elapsed:.1f}s: "
-                f"{type(exc).__name__}: {exc}]",
-                file=sys.stderr,
-            )
-            failed.append(name)
-            continue
-        elapsed = time.perf_counter() - start
-        print(result.to_text())
-        print(f"[{name} completed in {elapsed:.1f}s]")
-        print()
-        if args.metrics_out is not None:
-            documents.append(_collect_metrics(name, result, elapsed))
+            print(result.to_text())
+            print(f"[{name} completed in {elapsed:.1f}s]")
+            print()
+            if args.metrics_out is not None:
+                documents.append(
+                    _collect_metrics(name, result, elapsed, args.trace_out)
+                )
+    finally:
+        if tracer is not None:
+            use_tracer(previous_tracer)
 
     if args.metrics_out is not None:
         write_report(args.metrics_out, metrics_report(documents))
@@ -115,6 +175,22 @@ def main(argv: list[str] | None = None) -> int:
             f"[metrics for {len(documents)} experiment(s) written to "
             f"{args.metrics_out}]"
         )
+
+    if tracer is not None:
+        profile_report = profiler.report() if profiler is not None else None
+        if args.trace_out is not None:
+            write_chrome_trace(
+                args.trace_out, tracer.finished(), profile=profile_report
+            )
+            folded_path = args.trace_folded or args.trace_out + ".folded"
+            write_folded(folded_path, tracer.finished())
+            print(
+                f"[trace with {len(tracer)} span(s) written to "
+                f"{args.trace_out}; folded flamegraph in {folded_path}]"
+            )
+        if profiler is not None:
+            _print_profile(profile_report)
+            profiler.stop()
 
     if failed:
         print(
@@ -126,16 +202,33 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _print_profile(report: dict[str, object] | None) -> None:
+    """Render the top-allocation-sites table on stdout."""
+    if not report:
+        return
+    print(
+        f"[profile: current {report['current_kb']:.0f} KiB, "
+        f"peak {report['peak_kb']:.0f} KiB]"
+    )
+    for site in report["top_allocations"]:
+        print(f"  {site['kb']:>12.1f} KiB  {site['blocks']:>8d} blocks  "
+              f"{site['site']}")
+
+
 def _collect_metrics(
-    name: str, result: object, wall_seconds: float
+    name: str,
+    result: object,
+    wall_seconds: float,
+    trace_out: str | None = None,
 ) -> dict[str, object]:
     """Build one metrics document, running the experiment's probe."""
     registry = MetricsRegistry()
     simulation = None
     spec = METRICS_PROBES.get(name)
     if spec is not None:
-        with registry.timer("probe.wall"):
-            sim_result, probe = run_probe(spec, registry)
+        with span("experiment.probe", experiment=name):
+            with registry.timer("probe.wall"):
+                sim_result, probe = run_probe(spec, registry)
         simulation = simulation_section(sim_result, probe)
     return experiment_document(
         name=name,
@@ -144,6 +237,7 @@ def _collect_metrics(
         wall_seconds=wall_seconds,
         simulation=simulation,
         registry=registry,
+        trace=trace_out,
     )
 
 

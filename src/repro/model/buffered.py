@@ -24,6 +24,7 @@ import numpy as np
 
 from ..buffer import PinningError
 from ..geometry import near_zero
+from ..obs.spans import span
 from ..rtree import TreeDescription
 
 __all__ = [
@@ -224,9 +225,15 @@ def buffer_model_sweep(
             f"but the buffer holds only {min(too_small)}"
         )
 
-    probs_all = np.asarray(
-        workload.access_probabilities(desc.all_rects), dtype=np.float64
-    )
+    with span(
+        "model.access_probabilities",
+        nodes=desc.total_nodes,
+        levels=desc.height,
+        workload=type(workload).__name__,
+    ):
+        probs_all = np.asarray(
+            workload.access_probabilities(desc.all_rects), dtype=np.float64
+        )
     if probs_all.shape != (desc.total_nodes,):
         raise ValueError("workload returned a misshapen probability array")
     node_accesses = float(np.sum(probs_all))
@@ -260,15 +267,19 @@ def buffer_model_sweep(
             n_star = None
             disk = 0.0
         else:
-            n_star = queries_to_fill_buffer(
-                probs, effective, lower_bound=max(0, last_n_star - 1)
-            )
+            with span("model.n_star_search", buffer_size=buffer_size):
+                n_star = queries_to_fill_buffer(
+                    probs, effective, lower_bound=max(0, last_n_star - 1)
+                )
             if n_star is None:
                 never_fills = True
                 disk = 0.0
             else:
                 last_n_star = n_star
-                disk = steady_state_disk_accesses(probs, n_star)
+                with span(
+                    "model.ed_sum", buffer_size=buffer_size, n_star=n_star
+                ):
+                    disk = steady_state_disk_accesses(probs, n_star)
         results[i] = BufferModelResult(
             disk_accesses=disk,
             node_accesses=node_accesses,

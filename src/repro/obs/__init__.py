@@ -10,13 +10,22 @@ itself:
   request to the owning tree level via ``TreeDescription.level_offsets``;
 * :class:`QueryTrace` — a ring buffer of the last K queries' touched
   node ids and miss sets;
+* :class:`Tracer` / :func:`span` — nested, attributed wall-clock spans
+  with Chrome-trace (Perfetto) and folded-flamegraph exporters behind
+  ``repro-experiments --trace-out``;
+* :class:`Profiler` — opt-in ``tracemalloc`` allocation profiling with
+  a top-N-allocation-sites report (``--profile``);
 * :mod:`repro.obs.export` — the versioned ``repro-metrics`` JSON
-  schema behind ``repro-experiments --metrics-out``.
+  schema behind ``repro-experiments --metrics-out``;
+* :mod:`repro.obs.history` — the ``BENCH_history.jsonl`` benchmark
+  ledger and regression gate behind ``tools/bench_history.py``.
 
 Everything here is optional: with no registry attached, the simulator
 and buffer pools run exactly the uninstrumented hot path (one ``is
 not None`` test per request), which ``tests/obs/test_overhead.py``
-guards.
+guards; with no tracer installed, :func:`span` hands back a shared
+no-op singleton, which ``benchmarks/test_obs_overhead.py`` holds to
+the same standard.
 """
 
 from __future__ import annotations
@@ -32,27 +41,76 @@ from .export import (
     validate_report,
     write_report,
 )
+from .history import (
+    Comparison,
+    MetricDelta,
+    append_entry,
+    compare_reports,
+    find_baseline,
+    history_entry,
+    load_history,
+    validate_bench_report,
+)
 from .levels import LevelStats, LevelStatsTable, NullSink
+from .profile import AllocationSite, Profiler
 from .registry import Counter, Gauge, MetricsRegistry, Timer
+from .spans import (
+    NULL_SPAN,
+    Span,
+    SpanNode,
+    Tracer,
+    chrome_trace,
+    current_tracer,
+    folded_stacks,
+    parse_chrome_trace,
+    span,
+    span_tree,
+    use_tracer,
+    write_chrome_trace,
+    write_folded,
+)
 from .trace import QueryTrace, QueryTraceEntry
 
 __all__ = [
+    "AllocationSite",
+    "Comparison",
     "Counter",
     "Gauge",
     "LevelStats",
     "LevelStatsTable",
+    "MetricDelta",
     "MetricsRegistry",
+    "NULL_SPAN",
     "NullSink",
+    "Profiler",
     "QueryTrace",
     "QueryTraceEntry",
     "SCHEMA_NAME",
     "SCHEMA_VERSION",
+    "Span",
+    "SpanNode",
     "Timer",
+    "Tracer",
+    "append_entry",
+    "chrome_trace",
+    "compare_reports",
+    "current_tracer",
     "experiment_document",
+    "find_baseline",
+    "folded_stacks",
+    "history_entry",
+    "load_history",
     "load_report",
     "metrics_report",
+    "parse_chrome_trace",
     "simulation_section",
+    "span",
+    "span_tree",
+    "use_tracer",
+    "validate_bench_report",
     "validate_document",
     "validate_report",
+    "write_chrome_trace",
+    "write_folded",
     "write_report",
 ]

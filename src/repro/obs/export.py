@@ -37,7 +37,13 @@ __all__ = [
 ]
 
 SCHEMA_NAME = "repro-metrics"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+"""Version 2 adds the optional per-document ``trace`` pointer: the
+path of the Chrome-trace JSON written by ``--trace-out`` in the same
+run (``null`` when tracing was off).  Version-1 documents remain
+readable — the field is simply absent."""
+
+_SUPPORTED_VERSIONS = (1, 2)
 
 _LEVEL_SUM_KEYS = ("requests", "hits", "misses", "evictions")
 _BATCH_KEYS = ("requests", "hits", "misses", "evictions")
@@ -133,15 +139,18 @@ def experiment_document(
     wall_seconds: float,
     simulation: Mapping[str, Any] | None = None,
     registry: Any | None = None,
+    trace: str | None = None,
 ) -> dict[str, Any]:
-    """One schema-v1 document for a completed experiment.
+    """One schema-v2 document for a completed experiment.
 
     ``result`` is the experiment's result object (model predictions
     and simulated means, whatever the experiment produces), sanitised
     wholesale; ``simulation`` is an optional
     :func:`simulation_section`; ``registry`` an optional
     :class:`~repro.obs.registry.MetricsRegistry` whose contents are
-    exported under ``"metrics"``.
+    exported under ``"metrics"``; ``trace`` an optional pointer (a
+    path) to the Chrome-trace JSON covering this run, written by
+    ``repro-experiments --trace-out``.
     """
     document: dict[str, Any] = {
         "schema": SCHEMA_NAME,
@@ -155,6 +164,7 @@ def experiment_document(
         "result": sanitize(result),
         "simulation": dict(simulation) if simulation is not None else None,
         "metrics": registry.to_dict() if registry is not None else None,
+        "trace": str(trace) if trace is not None else None,
     }
     return document
 
@@ -181,7 +191,7 @@ def validate_document(document: Mapping[str, Any]) -> None:
     """
     if document.get("schema") != SCHEMA_NAME:
         raise ValueError(f"not a {SCHEMA_NAME} document")
-    if document.get("schema_version") != SCHEMA_VERSION:
+    if document.get("schema_version") not in _SUPPORTED_VERSIONS:
         raise ValueError(
             f"unsupported schema_version {document.get('schema_version')!r}"
         )
@@ -192,6 +202,9 @@ def validate_document(document: Mapping[str, Any]) -> None:
         raise ValueError("document missing numeric wall_seconds")
     if "result" not in document:
         raise ValueError("document missing result")
+    trace = document.get("trace")
+    if trace is not None and not isinstance(trace, str):
+        raise ValueError("trace must be a path string or null")
     simulation = document.get("simulation")
     if simulation is not None:
         _validate_simulation(simulation)
@@ -225,7 +238,7 @@ def validate_report(report: Mapping[str, Any]) -> None:
     """Raise ``ValueError`` if ``report`` is not a valid v1 report."""
     if report.get("schema") != SCHEMA_NAME:
         raise ValueError(f"not a {SCHEMA_NAME} report")
-    if report.get("schema_version") != SCHEMA_VERSION:
+    if report.get("schema_version") not in _SUPPORTED_VERSIONS:
         raise ValueError(
             f"unsupported schema_version {report.get('schema_version')!r}"
         )

@@ -62,15 +62,21 @@ class Gauge:
 
 
 class Timer:
-    """Accumulated wall-clock seconds over one or more observations."""
+    """Accumulated wall-clock seconds over one or more observations.
 
-    __slots__ = ("name", "total_seconds", "count", "_started")
+    Timing uses ``time.perf_counter_ns``: monotonic (immune to NTP
+    steps and wall-clock adjustments, unlike ``time.time``) and
+    integer nanoseconds, so interval subtraction is exact and cannot
+    go negative.
+    """
+
+    __slots__ = ("name", "total_seconds", "count", "_started_ns")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.total_seconds = 0.0
         self.count = 0
-        self._started: float | None = None
+        self._started_ns: int | None = None
 
     def record(self, seconds: float) -> None:
         """Add one externally measured duration."""
@@ -80,14 +86,14 @@ class Timer:
         self.count += 1
 
     def __enter__(self) -> "Timer":
-        self._started = time.perf_counter()
+        self._started_ns = time.perf_counter_ns()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        started = self._started
-        self._started = None
+        started = self._started_ns
+        self._started_ns = None
         if started is not None:
-            self.record(time.perf_counter() - started)
+            self.record((time.perf_counter_ns() - started) / 1e9)
 
     @property
     def mean_seconds(self) -> float:

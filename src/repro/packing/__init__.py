@@ -9,6 +9,7 @@ from __future__ import annotations
 from typing import Any, Sequence
 
 from ..geometry import RectArray
+from ..obs.spans import span
 from ..rtree import RTree, TreeDescription
 from ..rtree.rstar import rstar_tree
 from .base import pack_description, pack_tree, resolve_ordering
@@ -62,13 +63,16 @@ def load_tree(
     items: Sequence[Any] | None = None,
 ) -> RTree:
     """Build a queryable R-tree with the named loading algorithm."""
-    if name == "tat":
-        return tat_tree(data, capacity, items=items)
-    if name == "rstar":
-        return rstar_tree(data, capacity, items=items)
-    if name in ORDERINGS:
-        return pack_tree(data, capacity, name, items=items)
-    raise ValueError(f"unknown loader {name!r}; choices: {LOADERS}")
+    with span(
+        "packing.load_tree", loader=name, capacity=capacity, n_rects=len(data)
+    ):
+        if name == "tat":
+            return tat_tree(data, capacity, items=items)
+        if name == "rstar":
+            return rstar_tree(data, capacity, items=items)
+        if name in ORDERINGS:
+            return pack_tree(data, capacity, name, items=items)
+        raise ValueError(f"unknown loader {name!r}; choices: {LOADERS}")
 
 
 def load_description(
@@ -80,10 +84,16 @@ def load_description(
     build the real tree (their structure depends on insertion
     dynamics).
     """
-    if name == "tat":
-        return tat_description(data, capacity)
-    if name == "rstar":
-        return TreeDescription.from_tree(rstar_tree(data, capacity))
-    if name in ORDERINGS:
-        return pack_description(data, capacity, name)
-    raise ValueError(f"unknown loader {name!r}; choices: {LOADERS}")
+    with span(
+        "packing.load_description",
+        loader=name,
+        capacity=capacity,
+        n_rects=len(data),
+    ):
+        if name == "tat":
+            return tat_description(data, capacity)
+        if name == "rstar":
+            return TreeDescription.from_tree(rstar_tree(data, capacity))
+        if name in ORDERINGS:
+            return pack_description(data, capacity, name)
+        raise ValueError(f"unknown loader {name!r}; choices: {LOADERS}")

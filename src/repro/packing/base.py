@@ -23,6 +23,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from ..geometry import GeometryError, RectArray
+from ..obs.spans import span
 from ..rtree import Entry, Node, RTree, TreeDescription
 from .orderings import ORDERINGS, Ordering
 
@@ -73,17 +74,30 @@ def pack_description(
         raise GeometryError("cannot pack an empty data set")
     order_fn = resolve_ordering(ordering)
 
-    levels: list[RectArray] = []
-    current = data
-    while True:
-        perm = order_fn(current, capacity)
-        nodes = _group_mbrs(current[perm], capacity)
-        levels.append(nodes)
-        if len(nodes) == 1:
-            break
-        current = nodes
-    levels.reverse()
-    return TreeDescription(tuple(levels))
+    with span(
+        "packing.pack_description",
+        ordering=ordering if isinstance(ordering, str) else order_fn.__name__,
+        capacity=capacity,
+        n_rects=len(data),
+    ):
+        levels: list[RectArray] = []
+        current = data
+        while True:
+            # Levels are packed bottom-up; the level attr counts from
+            # the leaves (0) because the tree height is unknown here.
+            with span(
+                "packing.level",
+                level_from_leaves=len(levels),
+                n_entries=len(current),
+            ):
+                perm = order_fn(current, capacity)
+                nodes = _group_mbrs(current[perm], capacity)
+            levels.append(nodes)
+            if len(nodes) == 1:
+                break
+            current = nodes
+        levels.reverse()
+        return TreeDescription(tuple(levels))
 
 
 def pack_tree(
@@ -105,37 +119,44 @@ def pack_tree(
         raise ValueError("items must align one-to-one with data rectangles")
     order_fn = resolve_ordering(ordering)
 
-    perm = order_fn(data, capacity)
-    nodes: list[Node] = []
-    for start in range(0, len(data), capacity):
-        group = perm[start : start + capacity]
-        entries = [
-            Entry(
-                data.rect(int(i)),
-                item=(items[int(i)] if items is not None else int(i)),
-            )
-            for i in group
-        ]
-        nodes.append(Node(is_leaf=True, entries=entries))
-    height = 1
-
-    while len(nodes) > 1:
-        mbrs = RectArray.from_rects(node.mbr() for node in nodes)
-        perm = order_fn(mbrs, capacity)
-        parents: list[Node] = []
-        for start in range(0, len(nodes), capacity):
+    with span(
+        "packing.pack_tree",
+        ordering=ordering if isinstance(ordering, str) else order_fn.__name__,
+        capacity=capacity,
+        n_rects=len(data),
+    ):
+        perm = order_fn(data, capacity)
+        nodes: list[Node] = []
+        for start in range(0, len(data), capacity):
             group = perm[start : start + capacity]
             entries = [
-                Entry(mbrs.rect(int(i)), child=nodes[int(i)]) for i in group
+                Entry(
+                    data.rect(int(i)),
+                    item=(items[int(i)] if items is not None else int(i)),
+                )
+                for i in group
             ]
-            parents.append(Node(is_leaf=False, entries=entries))
-        nodes = parents
-        height += 1
+            nodes.append(Node(is_leaf=True, entries=entries))
+        height = 1
 
-    return RTree._from_prebuilt(
-        root=nodes[0],
-        height=height,
-        size=len(data),
-        max_entries=capacity,
-        min_entries=1,
-    )
+        while len(nodes) > 1:
+            mbrs = RectArray.from_rects(node.mbr() for node in nodes)
+            perm = order_fn(mbrs, capacity)
+            parents: list[Node] = []
+            for start in range(0, len(nodes), capacity):
+                group = perm[start : start + capacity]
+                entries = [
+                    Entry(mbrs.rect(int(i)), child=nodes[int(i)])
+                    for i in group
+                ]
+                parents.append(Node(is_leaf=False, entries=entries))
+            nodes = parents
+            height += 1
+
+        return RTree._from_prebuilt(
+            root=nodes[0],
+            height=height,
+            size=len(data),
+            max_entries=capacity,
+            min_entries=1,
+        )

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Any, Sequence
 
 from ..geometry import GeometryError, Rect, RectArray
+from ..obs.spans import span
 from ..rtree import RTree, TreeDescription
 from ..rtree.split import SplitFunction
 
@@ -38,9 +39,12 @@ def tat_tree(
         raise GeometryError("cannot load an empty data set")
     if items is not None and len(items) != len(rects):
         raise ValueError("items must align one-to-one with data rectangles")
-    tree = RTree(max_entries=capacity, min_entries=min_entries, split=split)
-    for i, rect in enumerate(rects):
-        tree.insert(rect, items[i] if items is not None else i)
+    with span("packing.tat_build", capacity=capacity, n_rects=len(rects)):
+        tree = RTree(
+            max_entries=capacity, min_entries=min_entries, split=split
+        )
+        for i, rect in enumerate(rects):
+            tree.insert(rect, items[i] if items is not None else i)
     return tree
 
 

@@ -28,6 +28,7 @@ import math
 from typing import Any, Sequence
 
 from ..geometry import Rect
+from ..obs.spans import span
 from .node import Entry, Node
 from .split import SPLIT_FUNCTIONS, _validate_split_input
 from .tree import RTree
@@ -344,7 +345,8 @@ def rstar_tree(
         raise ValueError("cannot load an empty data set")
     if items is not None and len(items) != len(rects):
         raise ValueError("items must align one-to-one with data rectangles")
-    tree = RStarTree(max_entries=capacity, min_entries=min_entries)
-    for i, rect in enumerate(rects):
-        tree.insert(rect, items[i] if items is not None else i)
+    with span("rtree.rstar_build", capacity=capacity, n_rects=len(rects)):
+        tree = RStarTree(max_entries=capacity, min_entries=min_entries)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, items[i] if items is not None else i)
     return tree

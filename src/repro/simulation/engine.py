@@ -26,7 +26,11 @@ Observability: measurement batches are bracketed by
 (``SimulationResult.batch_stats``), and passing a
 :class:`~repro.obs.MetricsRegistry` attaches a per-level sink and
 phase timers — see ``docs/OBSERVABILITY.md``.  With no registry the
-hot path is unchanged.
+hot path is unchanged.  Independently, when a process-wide tracer is
+installed (``repro.obs.use_tracer``) the phases emit nested spans —
+simulate → warmup/measure → per-batch → sample/stab/buffer loop — at
+chunk granularity, so the un-traced run pays only the no-op span
+dispatch (held within noise by ``benchmarks/test_obs_overhead.py``).
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ import numpy as np
 from ..accel import make_stabber
 from ..buffer import BufferPool, BufferStats, POLICIES
 from ..obs import LevelStats, LevelStatsTable, MetricsRegistry, QueryTrace, QueryTraceEntry
+from ..obs.spans import span
 from ..queries.mixed import MixedWorkload
 from ..rtree import TreeDescription
 from .batchmeans import BatchMeansEstimate, batch_means
@@ -154,69 +159,94 @@ def simulate(
     if rng is None or isinstance(rng, int):
         rng = np.random.default_rng(0 if rng is None else rng)
 
-    if isinstance(workload, MixedWorkload):
-        transformed = workload.component_transforms(desc.all_rects)
-        stabber = [make_stabber(t, mode=accel) for t in transformed]
-    else:
-        transformed = workload.transformed_rects(desc.all_rects)
-        stabber = make_stabber(transformed, mode=accel)
-    pinned_ids = range(desc.level_offsets[pinned_levels])
-    buffer = _make_buffer(policy, buffer_size, pinned_ids, rng)
+    root_span = span(
+        "simulate",
+        buffer_size=buffer_size,
+        policy=policy,
+        accel=accel,
+        levels=desc.height,
+        nodes=desc.total_nodes,
+        pinned_levels=pinned_levels,
+        n_batches=n_batches,
+        batch_size=batch_size,
+    )
+    with root_span:
+        if isinstance(workload, MixedWorkload):
+            transformed = workload.component_transforms(desc.all_rects)
+            stabber = [make_stabber(t, mode=accel) for t in transformed]
+            backend = ",".join(sorted({type(s).__name__ for s in stabber}))
+        else:
+            transformed = workload.transformed_rects(desc.all_rects)
+            stabber = make_stabber(transformed, mode=accel)
+            backend = type(stabber).__name__
+        root_span.set_attrs(backend=backend)
+        pinned_ids = range(desc.level_offsets[pinned_levels])
+        buffer = _make_buffer(policy, buffer_size, pinned_ids, rng)
 
-    sink: LevelStatsTable | None = None
-    if registry is not None:
-        sink = LevelStatsTable(desc.level_offsets)
-        buffer.sink = sink
-    trace = QueryTrace(trace_last) if trace_last > 0 else None
+        sink: LevelStatsTable | None = None
+        if registry is not None:
+            sink = LevelStatsTable(desc.level_offsets)
+            buffer.sink = sink
+        trace = QueryTrace(trace_last) if trace_last > 0 else None
 
-    # ------------------------------------------------------------------
-    # Warm-up: reach the state the model's steady-state estimate targets.
-    # ------------------------------------------------------------------
-    started = time.perf_counter() if registry is not None else 0.0
-    warmed = 0
-    if warmup_queries is None:
-        while not buffer.is_full() and warmed < warmup_cap:
-            step = min(_CHUNK, warmup_cap - warmed)
-            _run_queries(buffer, stabber, workload, rng, step, trace)
-            warmed += step
-    else:
-        remaining = warmup_queries
-        while remaining > 0:
-            step = min(_CHUNK, remaining)
-            _run_queries(buffer, stabber, workload, rng, step, trace)
-            warmed += step
-            remaining -= step
-    buffer_filled = buffer.is_full()
-    if registry is not None:
-        registry.timer("simulate.warmup").record(time.perf_counter() - started)
+        # --------------------------------------------------------------
+        # Warm-up: reach the state the model's steady-state estimate
+        # targets.
+        # --------------------------------------------------------------
+        started = time.perf_counter_ns() if registry is not None else 0
+        warmed = 0
+        with span("simulate.warmup"):
+            if warmup_queries is None:
+                while not buffer.is_full() and warmed < warmup_cap:
+                    step = min(_CHUNK, warmup_cap - warmed)
+                    _run_queries(buffer, stabber, workload, rng, step, trace)
+                    warmed += step
+            else:
+                remaining = warmup_queries
+                while remaining > 0:
+                    step = min(_CHUNK, remaining)
+                    _run_queries(buffer, stabber, workload, rng, step, trace)
+                    warmed += step
+                    remaining -= step
+        buffer_filled = buffer.is_full()
+        if registry is not None:
+            registry.timer("simulate.warmup").record(
+                (time.perf_counter_ns() - started) / 1e9
+            )
 
-    # ------------------------------------------------------------------
-    # Measurement: batch means over misses and accesses per query.
-    # Counters are reset at every batch boundary, so each batch's
-    # statistics are independent and the batch snapshots sum to the
-    # measurement-window totals.
-    # ------------------------------------------------------------------
-    started = time.perf_counter() if registry is not None else 0.0
-    buffer.stats.reset()
-    if sink is not None:
-        sink.reset()
-    batch_snapshots: list[BufferStats] = []
-    miss_means: list[float] = []
-    access_means: list[float] = []
-    for _ in range(n_batches):
-        remaining = batch_size
-        while remaining > 0:
-            step = min(_CHUNK, remaining)
-            _run_queries(buffer, stabber, workload, rng, step, trace)
-            remaining -= step
-        snapshot = buffer.stats.snapshot()
-        batch_snapshots.append(snapshot)
-        miss_means.append(snapshot.misses / batch_size)
-        access_means.append(snapshot.requests / batch_size)
+        # --------------------------------------------------------------
+        # Measurement: batch means over misses and accesses per query.
+        # Counters are reset at every batch boundary, so each batch's
+        # statistics are independent and the batch snapshots sum to the
+        # measurement-window totals.
+        # --------------------------------------------------------------
+        started = time.perf_counter_ns() if registry is not None else 0
         buffer.stats.reset()
+        if sink is not None:
+            sink.reset()
+        batch_snapshots: list[BufferStats] = []
+        miss_means: list[float] = []
+        access_means: list[float] = []
+        with span("simulate.measure"):
+            for batch_index in range(n_batches):
+                with span("simulate.batch", batch=batch_index):
+                    remaining = batch_size
+                    while remaining > 0:
+                        step = min(_CHUNK, remaining)
+                        _run_queries(
+                            buffer, stabber, workload, rng, step, trace
+                        )
+                        remaining -= step
+                snapshot = buffer.stats.snapshot()
+                batch_snapshots.append(snapshot)
+                miss_means.append(snapshot.misses / batch_size)
+                access_means.append(snapshot.requests / batch_size)
+                buffer.stats.reset()
 
     if registry is not None:
-        registry.timer("simulate.measure").record(time.perf_counter() - started)
+        registry.timer("simulate.measure").record(
+            (time.perf_counter_ns() - started) / 1e9
+        )
         totals = _sum_stats(batch_snapshots)
         registry.counter("buffer.requests").inc(totals.requests)
         registry.counter("buffer.hits").inc(totals.hits)
@@ -281,28 +311,37 @@ def _run_queries(
     i.e. top-down, matching a recursive traversal's request order.
     When ``trace`` is given, each query's touched ids and miss set are
     recorded in the ring buffer (slower: only used when tracing).
+
+    Spans are emitted per *chunk* (this function runs once per
+    ``_CHUNK`` queries), never per query or per request, so the
+    disabled-tracer cost is three no-op context managers per 4096
+    queries.
     """
     if isinstance(workload, MixedWorkload):
-        rows = _mixed_rows(stabber, workload, rng, count)
+        with span("simulate.stab", queries=count, mixed=True):
+            rows = _mixed_rows(stabber, workload, rng, count)
     else:
-        points = workload.sample_points(count, rng)
-        rows = stabber.stab(points).iter_rows()
-    request = buffer.request
-    misses = 0
-    accesses = 0
-    if trace is not None:
+        with span("simulate.sample", queries=count):
+            points = workload.sample_points(count, rng)
+        with span("simulate.stab", queries=count):
+            rows = stabber.stab(points).iter_rows()
+    with span("simulate.buffer_loop", queries=count):
+        request = buffer.request
+        misses = 0
+        accesses = 0
+        if trace is not None:
+            for ids in rows:
+                touched = [int(i) for i in ids]
+                missed = [i for i in touched if not request(i)]
+                accesses += len(touched)
+                misses += len(missed)
+                trace.record(touched, missed)
+            return misses, accesses
         for ids in rows:
-            touched = [int(i) for i in ids]
-            missed = [i for i in touched if not request(i)]
-            accesses += len(touched)
-            misses += len(missed)
-            trace.record(touched, missed)
-        return misses, accesses
-    for ids in rows:
-        accesses += ids.size
-        for node_id in ids:
-            if not request(int(node_id)):
-                misses += 1
+            accesses += ids.size
+            for node_id in ids:
+                if not request(int(node_id)):
+                    misses += 1
     return misses, accesses
 
 

@@ -13,7 +13,11 @@ in ``benchmarks/test_obs_overhead.py``.
 import timeit
 
 from repro.buffer import LRUBuffer
-from repro.obs import NullSink
+from repro.obs import NULL_SPAN, NullSink
+from repro.obs.spans import span as module_span
+from repro.queries import UniformPointWorkload
+from repro.simulation import simulate
+from tests.obs.test_levels import two_level_description
 
 _PAGES = [i % 40 for i in range(2000)]
 _REPEATS = 7
@@ -45,3 +49,48 @@ def test_noop_sink_overhead_is_bounded():
 
 def test_detached_pool_has_no_sink():
     assert LRUBuffer(4).sink is None
+
+
+def test_disabled_span_is_null_singleton():
+    # The whole disabled path: one global read, one `is None` test,
+    # one shared no-op object — no per-call allocation beyond kwargs.
+    assert module_span("anything") is NULL_SPAN
+
+
+def test_disabled_tracer_simulate_within_noise(monkeypatch):
+    """simulate() with tracing off costs ~the same as no tracing code.
+
+    The baseline monkeypatches the engine's ``span`` hook to a
+    do-nothing stub — the closest thing to "the instrumentation was
+    never written".  The real disabled path (global read + ``is None``
+    + NULL_SPAN protocol) must stay within a generous constant of it;
+    spans sit at phase/chunk granularity, so the true ratio is ~1.0x
+    and anything near the 2x bound means a span leaked onto a
+    per-request path.
+    """
+    import repro.simulation.engine as engine
+
+    desc = two_level_description()
+    kwargs = dict(buffer_size=3, n_batches=2, batch_size=300)
+
+    def run_seconds() -> float:
+        return min(
+            timeit.repeat(
+                lambda: simulate(desc, UniformPointWorkload(), **kwargs),
+                number=1,
+                repeat=_REPEATS,
+            )
+        )
+
+    disabled = run_seconds()
+
+    def stub_span(name, **attrs):
+        return NULL_SPAN
+
+    monkeypatch.setattr(engine, "span", stub_span)
+    baseline = run_seconds()
+
+    assert disabled <= 2.0 * baseline + 1e-3, (
+        f"disabled-tracer overhead too high: "
+        f"baseline={baseline:.6f}s disabled={disabled:.6f}s"
+    )

@@ -1,0 +1,149 @@
+"""The bench-history CLI: append, list, and the regression gate.
+
+Thin wrapper over ``tools/bench_history.py`` (same pattern as
+``tests/test_docs_links.py``) so tier-1 enforces the gate's exit codes
+and the committed ledger's integrity without waiting for CI.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.history import BENCH_SCHEMA, load_history
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_history", REPO_ROOT / "tools" / "bench_history.py"
+)
+bench_history = importlib.util.module_from_spec(_SPEC)
+sys.modules.setdefault("bench_history", bench_history)
+_SPEC.loader.exec_module(bench_history)
+
+
+def make_report(seconds: float = 0.1) -> dict:
+    return {
+        "schema": BENCH_SCHEMA,
+        "seed": 0,
+        "smoke": True,
+        "records": [
+            {
+                "kernel": "point_stab",
+                "n_rects": 1000,
+                "n_points": 500,
+                "seconds": seconds,
+                "ops_per_s": 1.0e6 / seconds,
+                "unit": "pair-tests/s",
+                "dense_seconds": 1.0,
+                "speedup_vs_dense": 1.0 / seconds,
+            }
+        ],
+    }
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    report = tmp_path / "report.json"
+    history = tmp_path / "history.jsonl"
+    report.write_text(json.dumps(make_report()))
+    return report, history
+
+
+def run(argv) -> int:
+    return bench_history.main([str(a) for a in argv])
+
+
+class TestAppend:
+    def test_append_then_list(self, workspace, capsys):
+        report, history = workspace
+        assert run(
+            ["append", "--report", report, "--history", history,
+             "--note", "unit test", "--recorded-at", "2026-01-01T00:00:00+00:00"]
+        ) == 0
+        (entry,) = load_history(history)
+        assert entry["note"] == "unit test"
+        capsys.readouterr()
+        assert run(["list", "--history", history]) == 0
+        assert "unit test" in capsys.readouterr().out
+
+    def test_duplicate_append_is_a_noop(self, workspace, capsys):
+        report, history = workspace
+        args = ["append", "--report", report, "--history", history]
+        assert run(args) == 0
+        assert run(args) == 0
+        assert "already recorded" in capsys.readouterr().out
+        assert len(load_history(history)) == 1
+        assert run(args + ["--allow-duplicate"]) == 0
+        assert len(load_history(history)) == 2
+
+
+class TestCheck:
+    def test_no_baseline_passes(self, workspace, capsys):
+        report, history = workspace
+        assert run(["check", "--report", report, "--history", history]) == 0
+        assert "first run passes" in capsys.readouterr().out
+
+    def test_unchanged_report_passes(self, workspace):
+        report, history = workspace
+        run(["append", "--report", report, "--history", history])
+        assert run(["check", "--report", report, "--history", history]) == 0
+
+    def test_regressed_report_fails(self, workspace, capsys):
+        report, history = workspace
+        run(["append", "--report", report, "--history", history])
+        report.write_text(json.dumps(make_report(seconds=0.5)))
+        assert run(["check", "--report", report, "--history", history]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_flag_spelling_is_check_alias(self, workspace):
+        report, history = workspace
+        run(["append", "--report", report, "--history", history])
+        report.write_text(json.dumps(make_report(seconds=0.5)))
+        assert run(["--check", "--report", report, "--history", history]) == 1
+
+    def test_tolerance_override_loosens_gate(self, workspace):
+        report, history = workspace
+        run(["append", "--report", report, "--history", history])
+        report.write_text(json.dumps(make_report(seconds=0.5)))
+        assert run(
+            ["check", "--report", report, "--history", history,
+             "--tolerance", "seconds=10", "--tolerance", "ops_per_s=10",
+             "--tolerance", "speedup_vs_dense=10"]
+        ) == 0
+
+    def test_bad_tolerance_spelling_exits(self, workspace):
+        report, history = workspace
+        run(["append", "--report", report, "--history", history])
+        with pytest.raises(SystemExit):
+            run(["check", "--report", report, "--history", history,
+                 "--tolerance", "seconds"])
+
+    def test_invalid_report_exits(self, workspace):
+        report, history = workspace
+        report.write_text('{"schema": "nope"}')
+        with pytest.raises(SystemExit):
+            run(["check", "--report", report, "--history", history])
+
+
+class TestCommittedLedger:
+    def test_committed_history_is_valid(self):
+        entries = load_history(REPO_ROOT / "BENCH_history.jsonl")
+        assert entries, "committed ledger must not be empty"
+
+    def test_committed_report_gates_clean(self, capsys):
+        # The committed snapshot must never regress against the
+        # committed ledger — CI runs this same gate.
+        assert run(
+            ["check", "--report", REPO_ROOT / "BENCH_repro.json",
+             "--history", REPO_ROOT / "BENCH_history.jsonl"]
+        ) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_committed_history_has_full_and_smoke_baselines(self):
+        # CI regenerates BENCH_repro.json at smoke sizes before gating,
+        # so the ledger needs a comparable baseline for both flavours.
+        entries = load_history(REPO_ROOT / "BENCH_history.jsonl")
+        flavours = {entry["smoke"] for entry in entries}
+        assert flavours == {True, False}

@@ -35,6 +35,7 @@ def test_no_broken_links(path):
 def test_checker_finds_planted_broken_link(tmp_path):
     doc = tmp_path / "bad.md"
     doc.write_text(
+        "# Anchor\n"
         "see [missing](no-such-file.md) and [ok](#anchor)\n"
         "```\n[not a link](also-missing.md)\n```\n"
         "[web](https://example.com) ![img](missing.png)\n"
@@ -43,11 +44,42 @@ def test_checker_finds_planted_broken_link(tmp_path):
     assert [target for _, target in broken] == ["no-such-file.md", "missing.png"]
 
 
-def test_anchor_suffix_checks_file_only(tmp_path):
-    (tmp_path / "other.md").write_text("# hi\n")
+def test_cross_file_anchor_checked_against_headings(tmp_path):
+    (tmp_path / "other.md").write_text("# Real Section\n")
     doc = tmp_path / "doc.md"
-    doc.write_text("[x](other.md#section) [y](gone.md#section)\n")
-    assert [t for _, t in check_docs_links.broken_links(doc)] == ["gone.md#section"]
+    doc.write_text(
+        "[ok](other.md#real-section) [bad](other.md#section) "
+        "[gone](gone.md#section)\n"
+    )
+    assert [t for _, t in check_docs_links.broken_links(doc)] == [
+        "other.md#section",
+        "gone.md#section",
+    ]
+
+
+def test_in_page_anchor_checked_against_own_headings(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "# The `span` schema\n## Worked example\n## Worked example\n"
+        "[a](#the-span-schema) [b](#worked-example) [c](#worked-example-1)\n"
+        "[broken](#no-such-heading)\n"
+    )
+    assert [t for _, t in check_docs_links.broken_links(doc)] == [
+        "#no-such-heading"
+    ]
+
+
+def test_anchor_on_non_markdown_target_ignored(tmp_path):
+    (tmp_path / "data.json").write_text("{}")
+    doc = tmp_path / "doc.md"
+    doc.write_text("[x](data.json#whatever)\n")
+    assert check_docs_links.broken_links(doc) == []
+
+
+def test_slugify_matches_github_conventions():
+    assert check_docs_links.slugify("The `span` schema") == "the-span-schema"
+    assert check_docs_links.slugify("Eq. 5 (steady state)") == "eq-5-steady-state"
+    assert check_docs_links.slugify("A_b  c") == "a_b--c"
 
 
 def test_cli_exit_codes(tmp_path, capsys):

@@ -1,12 +1,15 @@
-"""Fail on broken relative links in README.md and docs/*.md.
+"""Fail on broken relative links and anchors in README.md and docs/*.md.
 
 Scans markdown files for inline links and images
 (``[text](target)`` / ``![alt](target)``), ignores absolute URLs
-(``http://``, ``https://``, ``mailto:``) and pure in-page anchors
-(``#section``), and checks that every remaining target resolves to an
-existing file or directory relative to the file containing the link.
-Anchors on relative links (``MODEL.md#eq-5``) are checked for file
-existence only.
+(``http://``, ``https://``, ``mailto:``), and checks that every
+remaining target resolves to an existing file or directory relative to
+the file containing the link.  Anchor fragments are validated against
+the target's headings, GitHub-slugified: a pure in-page anchor
+(``#span-schema``) must name a heading of the containing file, and an
+anchor on a relative markdown link (``MODEL.md#eq-5``) must name a
+heading of the linked file.  Anchors on non-markdown targets are
+ignored (only the file must exist).
 
 Usage::
 
@@ -24,7 +27,14 @@ import re
 import sys
 from pathlib import Path
 
-__all__ = ["DEFAULT_FILES", "broken_links", "find_links", "main"]
+__all__ = [
+    "DEFAULT_FILES",
+    "broken_links",
+    "find_links",
+    "heading_slugs",
+    "main",
+    "slugify",
+]
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -58,16 +68,63 @@ def find_links(path: Path) -> list[tuple[int, str]]:
     return links
 
 
+_SLUG_STRIP_RE = re.compile(r"[^\w\- ]")
+
+_HEADING_RE = re.compile(r"^#{1,6} +(.+?)\s*$")
+
+
+def slugify(heading: str) -> str:
+    """A heading's GitHub anchor slug.
+
+    Mirrors GitHub's rendering: inline-code backticks and markdown
+    emphasis are dropped with the rest of the punctuation, the text is
+    lowercased, and spaces become hyphens.
+    """
+    text = _SLUG_STRIP_RE.sub("", heading.strip().lower())
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> frozenset[str]:
+    """Every anchor slug *path*'s headings define (fences skipped).
+
+    Duplicate headings get ``-1``, ``-2``, ... suffixes, as on GitHub,
+    so repeated section names stay individually addressable.
+    """
+    counts: dict[str, int] = {}
+    slugs: set[str] = set()
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if match is None:
+            continue
+        base = slugify(match.group(1))
+        seen = counts.get(base, 0)
+        counts[base] = seen + 1
+        slugs.add(base if seen == 0 else f"{base}-{seen}")
+    return frozenset(slugs)
+
+
 def broken_links(path: Path) -> list[tuple[int, str]]:
-    """Return the links in *path* whose targets do not resolve."""
+    """Return the links in *path* whose targets or anchors don't resolve."""
     broken: list[tuple[int, str]] = []
     for lineno, target in find_links(path):
-        if target.startswith(_SKIP_PREFIXES) or target.startswith("#"):
+        if target.startswith(_SKIP_PREFIXES):
             continue
-        relative = target.split("#", 1)[0]
-        if not relative:
+        relative, _, anchor = target.partition("#")
+        if relative and not (path.parent / relative).exists():
+            broken.append((lineno, target))
             continue
-        if not (path.parent / relative).exists():
+        if not anchor:
+            continue
+        destination = (path.parent / relative) if relative else path
+        if destination.suffix.lower() not in (".md", ".markdown"):
+            continue
+        if anchor.lower() not in heading_slugs(destination):
             broken.append((lineno, target))
     return broken
 
