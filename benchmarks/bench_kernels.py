@@ -7,7 +7,13 @@ oracles on the two compute-dominant paths of the reproduction:
   range-count kernel vs the dense containment matrix);
 * ``point_stab`` — CSR point-stabbing (grid index vs dense matrix);
 * ``simulator_query_throughput`` — the §4 simulator's per-query loop
-  (stab + LRU buffer requests) end to end.
+  (stab + LRU buffer requests) end to end;
+* ``stack_distance_sweep`` — one offline Mattson pass over all buffer
+  sizes (:func:`repro.simulation.simulate_sweep`) vs per-capacity
+  online simulation, asserted bit-exact;
+* ``probe_simulation_throughput`` — the instrumented metrics-probe
+  simulation (registry + per-level sink + trace ring) in queries/s,
+  grid vs dense stabbing backend.
 
 The report is a machine-readable JSON file (schema ``repro-bench/1``,
 see :data:`RECORD_FIELDS` and ``docs/PERFORMANCE.md``) written to the
@@ -43,11 +49,15 @@ from repro.accel import DenseStabber, GridStabbingIndex, SortedRangeCounter
 from repro.buffer import LRUBuffer
 from repro.geometry import RectArray
 from repro.model.access import data_driven_probabilities
+from repro.obs import MetricsRegistry
 from repro.obs.history import (
     BENCH_SCHEMA,
     RECORD_FIELDS,
     validate_bench_report,
 )
+from repro.packing import pack_description
+from repro.queries import UniformPointWorkload
+from repro.simulation import simulate, simulate_sweep
 
 __all__ = [
     "RECORD_FIELDS",
@@ -179,6 +189,110 @@ def _bench_sim_throughput(
     )
 
 
+def _same_result(a, b) -> bool:
+    """Bit-exact equality of two ``SimulationResult`` measurements."""
+    return (
+        a.warmup_queries == b.warmup_queries
+        and a.buffer_filled == b.buffer_filled
+        and len(a.batch_stats) == len(b.batch_stats)
+        and all(
+            x.as_dict() == y.as_dict()
+            for x, y in zip(a.batch_stats, b.batch_stats)
+        )
+        and a.disk_accesses == b.disk_accesses
+        and a.node_accesses == b.node_accesses
+    )
+
+
+def _bench_stack_distance_sweep(
+    rng: np.random.Generator, n_rects: int, n_queries: int
+) -> dict:
+    """One Mattson pass over 8 capacities vs 8 online simulations."""
+    rects = _node_like_rects(rng, n_rects)
+    capacity = 100 if n_rects >= 20_000 else 25
+    desc = pack_description(rects, capacity, "hs")
+    workload = UniformPointWorkload()
+    buffer_sizes = tuple(
+        int(b)
+        for b in np.unique(
+            np.geomspace(2, max(8, int(desc.total_nodes * 0.8)), 8).round()
+        )
+    )
+    n_batches = 10
+    batch_size = max(1, n_queries // n_batches)
+    seed = int(rng.integers(1 << 31))
+    kwargs = dict(n_batches=n_batches, batch_size=batch_size, rng=seed)
+
+    started = time.perf_counter()
+    sweep = simulate_sweep(desc, workload, buffer_sizes, **kwargs)
+    seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    online = [simulate(desc, workload, b, **kwargs) for b in buffer_sizes]
+    dense_seconds = time.perf_counter() - started
+
+    for b, fast, slow in zip(buffer_sizes, sweep, online):
+        if not _same_result(fast, slow):
+            raise AssertionError(
+                f"stack-distance sweep diverged from the online LRU "
+                f"engine at buffer size {b}"
+            )
+    return _record(
+        "stack_distance_sweep",
+        n_rects,
+        n_queries,
+        seconds,
+        dense_seconds,
+        ops=len(buffer_sizes) * n_batches * batch_size,
+        unit="capacity-queries/s",
+    )
+
+
+def _bench_probe_throughput(
+    rng: np.random.Generator, n_rects: int, n_queries: int
+) -> dict:
+    """The instrumented metrics-probe simulation, grid vs dense."""
+    rects = _node_like_rects(rng, n_rects)
+    capacity = 100 if n_rects >= 20_000 else 25
+    desc = pack_description(rects, capacity, "hs")
+    workload = UniformPointWorkload()
+    n_batches = 5
+    batch_size = max(1, n_queries // n_batches)
+    seed = int(rng.integers(1 << 31))
+    kwargs = dict(
+        buffer_size=max(2, desc.total_nodes // 5),
+        n_batches=n_batches,
+        batch_size=batch_size,
+        warmup_queries=2048,
+        trace_last=8,
+        rng=seed,
+    )
+
+    started = time.perf_counter()
+    fast = simulate(
+        desc, workload, registry=MetricsRegistry(), accel="auto", **kwargs
+    )
+    seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    dense = simulate(
+        desc, workload, registry=MetricsRegistry(), accel="dense", **kwargs
+    )
+    dense_seconds = time.perf_counter() - started
+
+    if not _same_result(fast, dense):
+        raise AssertionError("probe results diverged across accel backends")
+    return _record(
+        "probe_simulation_throughput",
+        n_rects,
+        n_queries,
+        seconds,
+        dense_seconds,
+        ops=kwargs["warmup_queries"] + n_batches * batch_size,
+        unit="queries/s",
+    )
+
+
 def _record(
     kernel: str,
     n_rects: int,
@@ -207,12 +321,16 @@ _FULL_SIZES = {
     "data_driven": (100_000, 100_000),
     "point_stab": (50_000, 20_000),
     "sim_throughput": (50_000, 20_000),
+    "stack_sweep": (50_000, 200_000),
+    "probe_throughput": (50_000, 20_000),
 }
 
 _SMOKE_SIZES = {
     "data_driven": (1_500, 1_500),
     "point_stab": (4_000, 2_000),
     "sim_throughput": (4_000, 2_000),
+    "stack_sweep": (4_000, 10_000),
+    "probe_throughput": (4_000, 2_000),
 }
 
 
@@ -224,6 +342,8 @@ def build_report(seed: int = 0, smoke: bool = False) -> dict:
         _bench_data_driven(rng, *sizes["data_driven"]),
         _bench_point_stab(rng, *sizes["point_stab"]),
         _bench_sim_throughput(rng, *sizes["sim_throughput"]),
+        _bench_stack_distance_sweep(rng, *sizes["stack_sweep"]),
+        _bench_probe_throughput(rng, *sizes["probe_throughput"]),
     ]
     return {
         "schema": SCHEMA,

@@ -10,7 +10,9 @@ set.  This package holds the sub-quadratic kernels they run on:
   :class:`SparseContainment` CSR result (:class:`DenseStabber` is the
   dense oracle);
 * :class:`SortedRangeCounter` / :func:`count_points_inside` — offline
-  sorted range counting: how many points fall inside each rect.
+  sorted range counting: how many points fall inside each rect;
+* :func:`segmented_left_rank` — lock-step per-segment left ranks, the
+  inner kernel of the single-pass stack-distance sweep.
 
 Every kernel is *bit-exact* against its dense reference (closed
 boundaries, degenerate slivers included); ``auto`` modes select by
@@ -20,7 +22,11 @@ input size and can be overridden.  See ``docs/PERFORMANCE.md``.
 from __future__ import annotations
 
 from .grid import GridStabbingIndex, make_stabber
-from .rangecount import SortedRangeCounter, count_points_inside
+from .rangecount import (
+    SortedRangeCounter,
+    count_points_inside,
+    segmented_left_rank,
+)
 from .sparse import DenseStabber, SparseContainment
 
 __all__ = [
@@ -30,4 +36,5 @@ __all__ = [
     "SparseContainment",
     "count_points_inside",
     "make_stabber",
+    "segmented_left_rank",
 ]

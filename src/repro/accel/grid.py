@@ -36,6 +36,11 @@ _GRID_MIN_RECTS = 4096
 """``mode="auto"`` builds a grid only at or above this many rects;
 below it the dense matrix is faster than building an index."""
 
+_DENSE_MAX_WORK = 1 << 22
+"""``mode="auto"`` with an ``n_points`` hint switches to the grid once
+the dense matrix would evaluate this many rect-point pairs — even a
+small rect set loses to the grid when probed with enough points."""
+
 _MAX_CELLS = 1 << 22
 """Hard cap on the flattened cell count (indptr memory)."""
 
@@ -266,7 +271,7 @@ class GridStabbingIndex:
 
 
 def make_stabber(
-    rects: RectArray, mode: str = "auto"
+    rects: RectArray, mode: str = "auto", *, n_points: int | None = None
 ) -> GridStabbingIndex | DenseStabber:
     """Pick a point-stabbing backend for ``rects``.
 
@@ -276,12 +281,24 @@ def make_stabber(
     rect set costs more than the dense matrix it avoids); ``"grid"``
     and ``"dense"`` force the choice.  Both backends return
     byte-identical :class:`~repro.accel.sparse.SparseContainment`.
+
+    ``n_points`` is an optional hint: roughly how many points the
+    caller will stab over the stabber's lifetime.  ``"auto"`` then
+    also takes the grid whenever the dense matrix would touch
+    ``_DENSE_MAX_WORK`` rect-point pairs — a few hundred tree nodes
+    probed by a whole measurement window (the single-pass sweep of
+    :mod:`repro.simulation.stackdist`) favour the grid even though a
+    4096-point chunk would not.  The hint only ever changes *speed*:
+    backends are bit-exact, so results are hint-independent.
     """
     if mode not in STABBER_MODES:
         raise ValueError(
             f"unknown stabber mode {mode!r}; choices: {STABBER_MODES}"
         )
-    if mode == "grid" or (mode == "auto" and len(rects) >= _GRID_MIN_RECTS):
+    hinted = n_points is not None and len(rects) * n_points >= _DENSE_MAX_WORK
+    if mode == "grid" or (
+        mode == "auto" and (len(rects) >= _GRID_MIN_RECTS or hinted)
+    ):
         with span("accel.build", backend="grid", n_rects=len(rects)):
             return GridStabbingIndex(rects)
     with span("accel.build", backend="dense", n_rects=len(rects)):

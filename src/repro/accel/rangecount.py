@@ -37,7 +37,7 @@ import numpy as np
 from ..geometry import GeometryError, RectArray
 from ..obs.spans import span
 
-__all__ = ["SortedRangeCounter", "count_points_inside"]
+__all__ = ["SortedRangeCounter", "count_points_inside", "segmented_left_rank"]
 
 _SORTED_MIN_CELLS = 1 << 22
 """``method="auto"`` switches to the sorted kernel once the dense
@@ -89,6 +89,40 @@ class SortedRangeCounter:
                 level[:padded_n] = np.sort(blocks, axis=1).ravel()
                 level[padded_n] = np.nan  # sentinel: safe overshoot reads
                 self._levels.append(level)
+
+    def prefix_rank(
+        self,
+        k: np.ndarray,
+        y: np.ndarray,
+        *,
+        strict: bool = False,
+    ) -> np.ndarray:
+        """Vectorised dominance counts over x-order prefixes.
+
+        For each lane ``i``, counts the points among the first
+        ``k[i]`` in **x-sorted order** whose y-value is ``<= y[i]``
+        (``< y[i]`` when ``strict``).  This exposes the Fenwick
+        mergesort-tree directly for callers whose x-slab cuts are
+        already known — the offline LRU stack-distance engine
+        (:mod:`repro.simulation.stackdist`) builds the counter over
+        ``(position, previous-position)`` points, where positions are
+        ``0..n-1`` so every prefix cut is just an index and the two
+        ``searchsorted`` calls of :meth:`count` would be wasted work.
+
+        ``k`` entries must lie in ``[0, n_points]``; 2-D counters only.
+        Returns an int64 array of ``k.shape[0]`` counts.
+        """
+        if self.dim != 2:
+            raise GeometryError("prefix_rank needs a 2-D counter")
+        k = np.asarray(k, dtype=np.int64)
+        y = np.asarray(y, dtype=np.float64)
+        if k.ndim != 1 or y.ndim != 1 or k.shape != y.shape:
+            raise GeometryError("k and y must be 1-D arrays of equal length")
+        if k.size and (k.min() < 0 or k.max() > self.n_points):
+            raise GeometryError(
+                f"prefix lengths must lie in [0, {self.n_points}]"
+            )
+        return self._prefix_rank(k, y, strict)
 
     def _prefix_rank(
         self, k: np.ndarray, y: np.ndarray, strict: bool
@@ -157,6 +191,127 @@ class SortedRangeCounter:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SortedRangeCounter(n={self.n_points}, dim={self.dim})"
+
+
+def segmented_left_rank(
+    values: np.ndarray,
+    segment: int,
+    *,
+    block: int = 64,
+) -> np.ndarray:
+    """``r[i] = #{j < i in i's segment : values[j] <= values[i]}``.
+
+    The positional *left rank* of every element among the elements
+    before it in its own length-``segment`` span (segments are
+    consecutive: element ``i`` belongs to segment ``i // segment``;
+    the last segment may be short).  This is the inner kernel of the
+    offline LRU stack-distance engine
+    (:mod:`repro.simulation.stackdist`), which turns the global
+    dominance count of :meth:`SortedRangeCounter.prefix_rank` into a
+    per-segment one plus a tiny per-segment "live pages" snapshot —
+    cheaper because a segment's merge tree is shallow and because
+    segments are independent (and therefore trivially parallel).
+
+    Two-level scheme, everything in vectorised lock-step across all
+    segments at once:
+
+    * **blocks** (``block`` elements): brute-force dominance inside
+      each block via one boolean ``(rows, block, block)`` tensor;
+    * **block prefixes**: per segment, a sorted running prefix of the
+      blocks so far, stored packed with per-segment key offsets so a
+      single flat ``searchsorted`` ranks every segment's next block
+      simultaneously; prefixes grow by classic two-``searchsorted``
+      merges (no re-sorting).
+
+    ``values`` must be an integer array; ``segment`` must be a
+    positive multiple of ``block``.  Returns int64 counts, one per
+    element (ties count: equal earlier values are included).
+    """
+    v = np.asarray(values)
+    if v.ndim != 1:
+        raise GeometryError("values must be a 1-D array")
+    if v.dtype.kind not in "iu":
+        raise GeometryError("values must be an integer array")
+    if block < 1 or segment < 1 or segment % block:
+        raise GeometryError("segment must be a positive multiple of block")
+    n = v.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    n_pad = -(-n // segment) * segment
+    vmin = int(v.min())
+    sentinel = int(v.max()) - vmin + 1
+    padded = np.empty(n_pad, dtype=np.int64)
+    np.subtract(v, vmin, out=padded[:n], casting="unsafe")
+    # Padding sorts above every real value, so it only ever counts for
+    # padded (discarded) queries.
+    padded[n:] = sentinel
+
+    n_blocks = n_pad // block
+    per_seg = segment // block
+    n_seg = n_pad // segment
+    rank = np.zeros((n_blocks, block), dtype=np.int64)
+
+    # Bottom level: dominance inside each block, brute force, batched
+    # so the boolean tensor stays ~16M cells.
+    blocks = padded.reshape(n_blocks, block)
+    tri = np.tril(np.ones((block, block), dtype=bool), k=-1)
+    batch = max(1, (1 << 24) // (block * block))
+    for s in range(0, n_blocks, batch):
+        sub = blocks[s : s + batch]
+        np.sum(
+            (sub[:, None, :] <= sub[:, :, None]) & tri,
+            axis=2,
+            dtype=np.int64,
+            out=rank[s : s + batch],
+        )
+
+    if per_seg > 1:
+        # Mid level: each block is ranked against the merged sorted
+        # prefix of its segment's earlier blocks.  Keys carry a
+        # per-segment offset (stride > any real value) so the packed
+        # prefixes of all segments form one globally sorted array and
+        # a single flat searchsorted serves every segment at once.
+        stride = np.int64(sentinel) + 1
+        rows = np.arange(n_seg, dtype=np.int64)
+        keys = padded.reshape(n_seg, per_seg, block) + (rows * stride)[
+            :, None, None
+        ]
+        rank3 = rank.reshape(n_seg, per_seg, block)
+        prefix = np.sort(keys[:, 0, :], axis=1).ravel()
+        for j in range(1, per_seg):
+            width = j * block
+            q = keys[:, j, :]
+            cnt = np.searchsorted(prefix, q.ravel(), side="right")
+            rank3[:, j, :] += cnt.reshape(n_seg, block) - (rows * width)[
+                :, None
+            ]
+            if j == per_seg - 1:
+                break
+            # Merge block j into each prefix: an element's merged slot
+            # is its rank among the other side plus its own rank, with
+            # prefix elements winning ties (matching side="right"
+            # above).  Row r's packed prefix starts at r*width before
+            # and r*(width+block) after, which the row offsets absorb.
+            small = np.sort(q, axis=1)
+            pos_s = (
+                np.searchsorted(prefix, small.ravel(), side="right").reshape(
+                    n_seg, block
+                )
+                + np.arange(block, dtype=np.int64)[None, :]
+                + (rows * block)[:, None]
+            )
+            pos_b = (
+                np.searchsorted(small.ravel(), prefix, side="left").reshape(
+                    n_seg, width
+                )
+                + np.arange(width, dtype=np.int64)[None, :]
+                + (rows * width)[:, None]
+            )
+            merged = np.empty(n_seg * (width + block), dtype=np.int64)
+            merged[pos_s.ravel()] = small.ravel()
+            merged[pos_b.ravel()] = prefix
+            prefix = merged
+    return rank.reshape(-1)[:n]
 
 
 def count_points_inside(

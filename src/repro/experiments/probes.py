@@ -27,10 +27,17 @@ from ..queries import (
     UniformPointWorkload,
     UniformRegionWorkload,
 )
-from ..simulation import SimulationResult, simulate
+from ..simulation import SimulationResult, simulate, simulate_sweep
 from .common import get_dataset, get_description
 
-__all__ = ["METRICS_PROBES", "ProbeSpec", "run_probe"]
+__all__ = [
+    "METRICS_PROBES",
+    "ProbeSpec",
+    "SWEEP_PROBES",
+    "SweepProbeSpec",
+    "run_probe",
+    "run_sweep_probe",
+]
 
 WorkloadFactory = Callable[[RectArray], object]
 
@@ -102,6 +109,61 @@ METRICS_PROBES: dict[str, ProbeSpec] = {
 node capacity and query model (fast loaders only)."""
 
 
+@dataclass(frozen=True)
+class SweepProbeSpec:
+    """Configuration of one experiment's buffer-size *sweep* probe.
+
+    Same shape as :class:`ProbeSpec`, but with a tuple of buffer sizes
+    simulated in one stack-distance pass
+    (:func:`~repro.simulation.simulate_sweep`).  The fixed
+    ``warmup_queries`` keeps every capacity's measurement window
+    identical, so the exported per-capacity miss totals are exactly
+    monotone non-increasing (the LRU inclusion property) — the export
+    validator enforces this.
+    """
+
+    dataset: str
+    n: int | None
+    capacity: int
+    loader: str
+    workload: str
+    buffer_sizes: tuple[int, ...]
+    pinned_levels: int = 0
+    warmup_queries: int = 4096
+
+    def as_dict(self) -> dict[str, Any]:
+        """The spec as the document's ``sweep.probe`` mapping."""
+        return {
+            "dataset": self.dataset,
+            "n": self.n,
+            "capacity": self.capacity,
+            "loader": self.loader,
+            "workload": self.workload,
+            "buffer_sizes": list(self.buffer_sizes),
+            "pinned_levels": self.pinned_levels,
+            "warmup_queries": self.warmup_queries,
+        }
+
+
+SWEEP_PROBES: dict[str, SweepProbeSpec] = {
+    "table1": SweepProbeSpec(
+        "region", 165_000, 100, "hs", "uniform-point", (10, 50, 100, 300)
+    ),
+    "fig6": SweepProbeSpec(
+        "tiger", None, 100, "hs", "uniform-region-1pct", (2, 20, 100, 500)
+    ),
+    "fig9": SweepProbeSpec(
+        "region", 25_000, 100, "hs", "uniform-point", (10, 100, 300)
+    ),
+    "fig11": SweepProbeSpec(
+        "tiger", None, 25, "hs", "uniform-point", (100, 200, 500, 1000), 2
+    ),
+}
+"""One sweep probe per buffer-size-sweep experiment: the experiment's
+data set and query model, a handful of its swept buffer sizes, all
+simulated in a single stack-distance pass."""
+
+
 def run_probe(
     spec: ProbeSpec,
     registry: MetricsRegistry,
@@ -142,3 +204,43 @@ def run_probe(
     probe["n_batches"] = n_batches
     probe["batch_size"] = batch_size
     return result, probe
+
+
+def run_sweep_probe(
+    spec: SweepProbeSpec,
+    registry: MetricsRegistry | None = None,
+    *,
+    n_batches: int = 5,
+    batch_size: int = 2000,
+) -> tuple[tuple[SimulationResult, ...], dict[str, Any]]:
+    """Run one multi-capacity sweep probe in a single offline pass.
+
+    Returns the per-capacity results (ordered like
+    ``spec.buffer_sizes``) and the probe-configuration mapping for the
+    document's ``sweep.probe`` field.  Deterministic: the sweep's
+    default seed and the cached data sets pin every random stream.
+    """
+    try:
+        factory = _WORKLOAD_FACTORIES[spec.workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown probe workload {spec.workload!r}; "
+            f"choices: {sorted(_WORKLOAD_FACTORIES)}"
+        ) from None
+    data = get_dataset(spec.dataset, spec.n)
+    desc = get_description(spec.dataset, spec.n, spec.capacity, spec.loader)
+    workload = factory(data)
+    results = simulate_sweep(
+        desc,
+        workload,
+        spec.buffer_sizes,
+        pinned_levels=spec.pinned_levels,
+        n_batches=n_batches,
+        batch_size=batch_size,
+        warmup_queries=spec.warmup_queries,
+        registry=registry,
+    )
+    probe = spec.as_dict()
+    probe["n_batches"] = n_batches
+    probe["batch_size"] = batch_size
+    return results, probe

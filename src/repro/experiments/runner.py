@@ -35,13 +35,14 @@ from ..obs import (
     metrics_report,
     simulation_section,
     span,
+    sweep_section,
     use_tracer,
     write_chrome_trace,
     write_folded,
     write_report,
 )
 from . import fig5, fig6, fig7, fig8, fig9, fig10, fig11, table1, table2
-from .probes import METRICS_PROBES, run_probe
+from .probes import METRICS_PROBES, SWEEP_PROBES, run_probe, run_sweep_probe
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -230,12 +231,22 @@ def _collect_metrics(
             with registry.timer("probe.wall"):
                 sim_result, probe = run_probe(spec, registry)
         simulation = simulation_section(sim_result, probe)
+    sweep = None
+    sweep_spec = SWEEP_PROBES.get(name)
+    if sweep_spec is not None:
+        with span("experiment.sweep_probe", experiment=name):
+            with registry.timer("sweep_probe.wall"):
+                sweep_results, sweep_probe = run_sweep_probe(
+                    sweep_spec, registry
+                )
+        sweep = sweep_section(sweep_results, sweep_probe)
     return experiment_document(
         name=name,
         meta=METAS.get(name, {}),
         result=result,
         wall_seconds=wall_seconds,
         simulation=simulation,
+        sweep=sweep,
         registry=registry,
         trace=trace_out,
     )

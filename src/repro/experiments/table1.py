@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 from ..model import buffer_model
 from ..queries import UniformPointWorkload
-from ..simulation import simulate
+from ..simulation import simulate_sweep
 from .common import Table, get_description, sim_batches, sim_queries_per_batch
 
 __all__ = ["Table1Row", "Table1Result", "run"]
@@ -96,15 +96,17 @@ def run(
     for loader in loaders:
         desc = get_description("region", DATA_SIZE, CAPACITY, loader)
         total_nodes[loader] = desc.total_nodes
-        for buffer_size in buffer_sizes:
+        # One stack-distance pass simulates every buffer size at once
+        # (bit-exact vs the old per-size loop; see simulate_sweep).
+        measurements = simulate_sweep(
+            desc,
+            workload,
+            buffer_sizes,
+            n_batches=n_batches,
+            batch_size=batch_size,
+        )
+        for buffer_size, measured in zip(buffer_sizes, measurements):
             predicted = buffer_model(desc, workload, buffer_size)
-            measured = simulate(
-                desc,
-                workload,
-                buffer_size,
-                n_batches=n_batches,
-                batch_size=batch_size,
-            )
             sim_mean = measured.disk_accesses.mean
             diff = (
                 100.0 * (predicted.disk_accesses - sim_mean) / sim_mean

@@ -37,6 +37,7 @@ from .export import (
     load_report,
     metrics_report,
     simulation_section,
+    sweep_section,
     validate_document,
     validate_report,
     write_report,
@@ -106,6 +107,7 @@ __all__ = [
     "simulation_section",
     "span",
     "span_tree",
+    "sweep_section",
     "use_tracer",
     "validate_bench_report",
     "validate_document",

@@ -31,6 +31,7 @@ __all__ = [
     "metrics_report",
     "sanitize",
     "simulation_section",
+    "sweep_section",
     "validate_document",
     "validate_report",
     "write_report",
@@ -132,12 +133,54 @@ def simulation_section(result: Any, probe: Mapping[str, Any]) -> dict[str, Any]:
     }
 
 
+def sweep_section(
+    results: Sequence[Any], probe: Mapping[str, Any]
+) -> dict[str, Any]:
+    """The ``sweep`` section of a document: one stack-distance pass
+    over several buffer sizes (see
+    :func:`~repro.simulation.simulate_sweep`).
+
+    ``results`` are the per-capacity
+    :class:`~repro.simulation.SimulationResult` rows, ordered like the
+    probe's ``buffer_sizes``; ``probe`` records the configuration the
+    sweep ran with, verbatim.  Unlike :func:`simulation_section` there
+    is no per-level breakdown — the offline engine has no buffer pool
+    to attach a sink to.
+    """
+    buffer_sizes = list(probe.get("buffer_sizes", ()))
+    if len(buffer_sizes) != len(results):
+        raise ValueError(
+            f"probe lists {len(buffer_sizes)} buffer sizes but "
+            f"{len(results)} results were given"
+        )
+    per_capacity = []
+    for buffer_size, result in zip(buffer_sizes, results):
+        totals = {
+            key: sum(getattr(stats, key) for stats in result.batch_stats)
+            for key in _BATCH_KEYS
+        }
+        requests = totals["requests"]
+        per_capacity.append(
+            {
+                "buffer_size": int(buffer_size),
+                **totals,
+                "hit_ratio": totals["hits"] / requests if requests else 0.0,
+                "disk_accesses": _estimate_dict(result.disk_accesses),
+                "node_accesses": _estimate_dict(result.node_accesses),
+                "warmup_queries": int(result.warmup_queries),
+                "buffer_filled": bool(result.buffer_filled),
+            }
+        )
+    return {"probe": sanitize(dict(probe)), "per_capacity": per_capacity}
+
+
 def experiment_document(
     name: str,
     meta: Mapping[str, str],
     result: Any,
     wall_seconds: float,
     simulation: Mapping[str, Any] | None = None,
+    sweep: Mapping[str, Any] | None = None,
     registry: Any | None = None,
     trace: str | None = None,
 ) -> dict[str, Any]:
@@ -146,11 +189,13 @@ def experiment_document(
     ``result`` is the experiment's result object (model predictions
     and simulated means, whatever the experiment produces), sanitised
     wholesale; ``simulation`` is an optional
-    :func:`simulation_section`; ``registry`` an optional
-    :class:`~repro.obs.registry.MetricsRegistry` whose contents are
-    exported under ``"metrics"``; ``trace`` an optional pointer (a
-    path) to the Chrome-trace JSON covering this run, written by
-    ``repro-experiments --trace-out``.
+    :func:`simulation_section`; ``sweep`` an optional
+    :func:`sweep_section` (multi-capacity probe; added without a
+    version bump — adding fields is backward compatible); ``registry``
+    an optional :class:`~repro.obs.registry.MetricsRegistry` whose
+    contents are exported under ``"metrics"``; ``trace`` an optional
+    pointer (a path) to the Chrome-trace JSON covering this run,
+    written by ``repro-experiments --trace-out``.
     """
     document: dict[str, Any] = {
         "schema": SCHEMA_NAME,
@@ -163,6 +208,7 @@ def experiment_document(
         "wall_seconds": float(wall_seconds),
         "result": sanitize(result),
         "simulation": dict(simulation) if simulation is not None else None,
+        "sweep": dict(sweep) if sweep is not None else None,
         "metrics": registry.to_dict() if registry is not None else None,
         "trace": str(trace) if trace is not None else None,
     }
@@ -208,6 +254,9 @@ def validate_document(document: Mapping[str, Any]) -> None:
     simulation = document.get("simulation")
     if simulation is not None:
         _validate_simulation(simulation)
+    sweep = document.get("sweep")
+    if sweep is not None:
+        _validate_sweep(sweep)
 
 
 def _validate_simulation(simulation: Mapping[str, Any]) -> None:
@@ -232,6 +281,40 @@ def _validate_simulation(simulation: Mapping[str, Any]) -> None:
     requests = int(aggregate["requests"])
     if int(aggregate["hits"]) + int(aggregate["misses"]) != requests:
         raise ValueError("aggregate hits + misses != requests")
+
+
+def _validate_sweep(sweep: Mapping[str, Any]) -> None:
+    """Shape checks plus the LRU inclusion invariant.
+
+    Each per-capacity row must balance (hits + misses == requests).
+    When every capacity measured the same window (identical
+    ``warmup_queries``, the sweep probes' configuration), total misses
+    must additionally be monotone non-increasing in buffer size — a
+    violation means the stack-distance accounting is broken, not that
+    the measurement was noisy.
+    """
+    for key in ("probe", "per_capacity"):
+        if key not in sweep:
+            raise ValueError(f"sweep section missing {key!r}")
+    rows = sweep["per_capacity"]
+    if not isinstance(rows, list) or not rows:
+        raise ValueError("sweep per_capacity must be a non-empty list")
+    for row in rows:
+        for key in ("buffer_size", "warmup_queries", *_BATCH_KEYS):
+            if key not in row:
+                raise ValueError(f"sweep capacity row missing {key!r}")
+        if int(row["hits"]) + int(row["misses"]) != int(row["requests"]):
+            raise ValueError("sweep row hits + misses != requests")
+    warmups = {int(row["warmup_queries"]) for row in rows}
+    if len(warmups) == 1:
+        by_size = sorted(rows, key=lambda row: int(row["buffer_size"]))
+        for smaller, larger in zip(by_size, by_size[1:]):
+            if int(larger["misses"]) > int(smaller["misses"]):
+                raise ValueError(
+                    "sweep misses increase with buffer size "
+                    f"({smaller['buffer_size']} -> {larger['buffer_size']}): "
+                    "the LRU inclusion property is violated"
+                )
 
 
 def validate_report(report: Mapping[str, Any]) -> None:

@@ -26,7 +26,12 @@ Design rules, mirroring the PR 2 sink pattern:
   can trace concurrently and their spans interleave without corruption.
 
 Timing uses ``time.perf_counter_ns`` — monotonic, immune to wall-clock
-adjustments, integer nanoseconds (no float accumulation error).
+adjustments, integer nanoseconds (no float accumulation error).  Each
+span additionally records the calling thread's CPU time
+(``time.thread_time_ns``), so traces of concurrent workloads (the
+stack-distance sweep's per-capacity pool) distinguish compute from
+blocking: a span whose ``cpu_us`` is far below its wall ``dur`` spent
+the difference waiting (GIL, locks, I/O).
 """
 
 from __future__ import annotations
@@ -98,6 +103,8 @@ class Span:
         "thread_index",
         "start_ns",
         "end_ns",
+        "cpu_start_ns",
+        "cpu_end_ns",
     )
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
@@ -109,6 +116,8 @@ class Span:
         self.thread_index: int = 0
         self.start_ns: int = 0
         self.end_ns: int = 0
+        self.cpu_start_ns: int = 0
+        self.cpu_end_ns: int = 0
 
     def set_attrs(self, **attrs: Any) -> None:
         """Merge extra attribute tags into the span."""
@@ -118,6 +127,18 @@ class Span:
     def duration_ns(self) -> int:
         """Wall-clock nanoseconds between enter and exit."""
         return self.end_ns - self.start_ns
+
+    @property
+    def cpu_ns(self) -> int:
+        """CPU nanoseconds the owning thread spent inside the span.
+
+        Measured with the tracer's CPU clock (default
+        ``time.thread_time_ns``), so time spent blocked — on the GIL,
+        a lock, or I/O — does not count; compare against
+        :attr:`duration_ns` to see how much of a span's wall time was
+        compute.
+        """
+        return self.cpu_end_ns - self.cpu_start_ns
 
     def __enter__(self) -> "Span":
         self.tracer._start(self)
@@ -140,8 +161,11 @@ class Tracer:
     Parameters
     ----------
     clock:
-        Nanosecond clock (default ``time.perf_counter_ns``).  Tests
-        inject a fake for deterministic timings.
+        Nanosecond wall clock (default ``time.perf_counter_ns``).
+        Tests inject a fake for deterministic timings.
+    cpu_clock:
+        Nanosecond per-thread CPU clock (default
+        ``time.thread_time_ns``); feeds :attr:`Span.cpu_ns`.
     memory_probe:
         Optional zero-argument callable returning currently allocated
         bytes (:class:`~repro.obs.profile.Profiler` attaches
@@ -161,9 +185,11 @@ class Tracer:
     def __init__(
         self,
         clock: Callable[[], int] = time.perf_counter_ns,
+        cpu_clock: Callable[[], int] = time.thread_time_ns,
         memory_probe: Callable[[], int] | None = None,
     ) -> None:
         self._clock = clock
+        self._cpu_clock = cpu_clock
         self.memory_probe = memory_probe
         self._lock = threading.Lock()
         self._local = threading.local()
@@ -196,10 +222,12 @@ class Tracer:
         probe = self.memory_probe
         if probe is not None:
             span.attrs["_mem_start"] = probe()
+        span.cpu_start_ns = self._cpu_clock()
         span.start_ns = self._clock()
 
     def _finish(self, span: Span) -> None:
         span.end_ns = self._clock()
+        span.cpu_end_ns = self._cpu_clock()
         probe = self.memory_probe
         if probe is not None:
             start = span.attrs.pop("_mem_start", None)
@@ -319,6 +347,7 @@ def chrome_trace(
         args["span_id"] = s.span_id
         if s.parent_id is not None:
             args["parent_id"] = s.parent_id
+        args["cpu_us"] = s.cpu_ns / 1000.0
         events.append(
             {
                 "name": s.name,
@@ -353,6 +382,7 @@ class SpanNode:
     start_us: float
     duration_us: float
     thread_index: int
+    cpu_us: float = 0.0
     attrs: Mapping[str, Any] = field(default_factory=dict)
 
 
@@ -375,6 +405,7 @@ def parse_chrome_trace(payload: Mapping[str, Any]) -> tuple[SpanNode, ...]:
             raise ValueError(f"span event {event.get('name')!r} lacks span_id")
         span_id = int(args.pop("span_id"))
         parent = args.pop("parent_id", None)
+        cpu_us = args.pop("cpu_us", 0.0)
         nodes.append(
             SpanNode(
                 span_id=span_id,
@@ -383,6 +414,7 @@ def parse_chrome_trace(payload: Mapping[str, Any]) -> tuple[SpanNode, ...]:
                 start_us=float(event["ts"]),
                 duration_us=float(event["dur"]),
                 thread_index=int(event.get("tid", 0)),
+                cpu_us=float(cpu_us),
                 attrs=args,
             )
         )
@@ -407,7 +439,9 @@ def span_tree(
     }
 
 
-def folded_stacks(spans: Iterable[Span] | Iterable[SpanNode]) -> list[str]:
+def folded_stacks(
+    spans: Iterable[Span] | Iterable[SpanNode], *, metric: str = "wall"
+) -> list[str]:
     """Spans as folded flamegraph lines: ``root;child;leaf <self-µs>``.
 
     Each line is a semicolon-joined root-to-span name path with the
@@ -416,7 +450,13 @@ def folded_stacks(spans: Iterable[Span] | Iterable[SpanNode]) -> list[str]:
     is the input format of Brendan Gregg's ``flamegraph.pl`` and of
     speedscope, so ``flamegraph.pl trace.folded > flame.svg`` renders
     straight from :func:`write_folded`'s output.
+
+    ``metric`` selects the timing column: ``"wall"`` (default) or
+    ``"cpu"`` (per-thread CPU time) — a stack that shrinks between
+    the two flamegraphs spent the difference blocked, not computing.
     """
+    if metric not in ("wall", "cpu"):
+        raise ValueError(f"unknown metric {metric!r}; choices: wall, cpu")
     rows = list(spans)
     by_id: dict[int, Any] = {}
     child_ns: dict[int, float] = {}
@@ -424,7 +464,7 @@ def folded_stacks(spans: Iterable[Span] | Iterable[SpanNode]) -> list[str]:
         by_id[row.span_id] = row
     for row in rows:
         if row.parent_id is not None and row.parent_id in by_id:
-            child_ns[row.parent_id] = child_ns.get(row.parent_id, 0.0) + _dur_ns(row)
+            child_ns[row.parent_id] = child_ns.get(row.parent_id, 0.0) + _dur_ns(row, metric)
 
     totals: dict[str, int] = {}
     for row in rows:
@@ -437,16 +477,17 @@ def folded_stacks(spans: Iterable[Span] | Iterable[SpanNode]) -> list[str]:
             parent = cursor.parent_id
             cursor = by_id.get(parent) if parent is not None else None
         stack = ";".join(reversed(path))
-        self_ns = max(_dur_ns(row) - child_ns.get(row.span_id, 0.0), 0.0)
+        self_ns = max(_dur_ns(row, metric) - child_ns.get(row.span_id, 0.0), 0.0)
         totals[stack] = totals.get(stack, 0) + int(self_ns // 1000)
     return [f"{stack} {value}" for stack, value in sorted(totals.items())]
 
 
-def _dur_ns(row: Any) -> float:
-    """Duration in nanoseconds for a :class:`Span` or :class:`SpanNode`."""
+def _dur_ns(row: Any, metric: str = "wall") -> float:
+    """Wall or CPU nanoseconds for a :class:`Span` or :class:`SpanNode`."""
     if isinstance(row, SpanNode):
-        return row.duration_us * 1000.0
-    return float(row.duration_ns)
+        us = row.cpu_us if metric == "cpu" else row.duration_us
+        return us * 1000.0
+    return float(row.cpu_ns if metric == "cpu" else row.duration_ns)
 
 
 def write_chrome_trace(
@@ -465,8 +506,11 @@ def write_chrome_trace(
     )
 
 
-def write_folded(path: str | Path, spans: Iterable[Span]) -> None:
+def write_folded(
+    path: str | Path, spans: Iterable[Span], *, metric: str = "wall"
+) -> None:
     """Write folded flamegraph text next to a Chrome-trace export."""
     Path(path).write_text(
-        "\n".join(folded_stacks(spans)) + "\n", encoding="utf-8"
+        "\n".join(folded_stacks(spans, metric=metric)) + "\n",
+        encoding="utf-8",
     )

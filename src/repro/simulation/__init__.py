@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from .batchmeans import BatchMeansEstimate, batch_means
 from .engine import SimulationResult, simulate
+from .stackdist import simulate_sweep
 from .stats import (
     regularized_incomplete_beta,
     student_t_cdf,
@@ -19,6 +20,7 @@ __all__ = [
     "batch_means",
     "regularized_incomplete_beta",
     "simulate",
+    "simulate_sweep",
     "student_t_cdf",
     "student_t_quantile",
     "validate_model",

@@ -303,8 +303,13 @@ def _run_queries(
     rng: np.random.Generator,
     count: int,
     trace: QueryTrace | None = None,
-) -> tuple[int, int]:
-    """Run ``count`` queries through the buffer; return (misses, accesses).
+) -> None:
+    """Run ``count`` queries through the buffer.
+
+    All accounting lives in ``buffer.stats`` (snapshot/reset at batch
+    boundaries by the caller) — this function deliberately returns
+    nothing, so there is exactly one source of truth for hit/miss
+    counts.
 
     ``stabber`` answers point-stabbing queries in CSR form (one per
     component for mixtures); node ids arrive ascending (level-major),
@@ -327,22 +332,15 @@ def _run_queries(
             rows = stabber.stab(points).iter_rows()
     with span("simulate.buffer_loop", queries=count):
         request = buffer.request
-        misses = 0
-        accesses = 0
         if trace is not None:
             for ids in rows:
                 touched = [int(i) for i in ids]
                 missed = [i for i in touched if not request(i)]
-                accesses += len(touched)
-                misses += len(missed)
                 trace.record(touched, missed)
-            return misses, accesses
+            return
         for ids in rows:
-            accesses += ids.size
             for node_id in ids:
-                if not request(int(node_id)):
-                    misses += 1
-    return misses, accesses
+                request(int(node_id))
 
 
 def _mixed_rows(

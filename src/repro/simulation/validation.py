@@ -19,6 +19,7 @@ import numpy as np
 from ..model import buffer_model_sweep
 from ..rtree import TreeDescription
 from .engine import simulate
+from .stackdist import simulate_sweep
 
 __all__ = ["ValidationReport", "ValidationRow", "validate_model"]
 
@@ -83,17 +84,35 @@ def validate_model(
 
     All simulation parameters mirror :func:`~repro.simulation.simulate`;
     the model side shares one access-probability computation across the
-    sweep.
+    sweep, and the simulation side runs the whole sweep in one pass
+    through :func:`~repro.simulation.simulate_sweep` (each buffer size
+    replays the same seeded stream, exactly as the old per-size loop
+    did).  Passing a live ``Generator`` keeps the sequential per-size
+    loop, since its capacities deliberately share generator state.
     """
     predictions = buffer_model_sweep(
         desc, workload, buffer_sizes, pinned_levels=pinned_levels
     )
-    rows = []
-    for predicted in predictions:
-        measured = simulate(
+    if isinstance(rng, np.random.Generator):
+        measurements = [
+            simulate(
+                desc,
+                workload,
+                predicted.buffer_size,
+                pinned_levels=pinned_levels,
+                n_batches=n_batches,
+                batch_size=batch_size,
+                policy=policy,
+                confidence=confidence,
+                rng=rng,
+            )
+            for predicted in predictions
+        ]
+    else:
+        measurements = simulate_sweep(
             desc,
             workload,
-            predicted.buffer_size,
+            [predicted.buffer_size for predicted in predictions],
             pinned_levels=pinned_levels,
             n_batches=n_batches,
             batch_size=batch_size,
@@ -101,6 +120,8 @@ def validate_model(
             confidence=confidence,
             rng=rng,
         )
+    rows = []
+    for predicted, measured in zip(predictions, measurements):
         sim_mean = measured.disk_accesses.mean
         if sim_mean > 0:
             diff = 100.0 * (predicted.disk_accesses - sim_mean) / sim_mean

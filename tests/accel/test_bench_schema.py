@@ -91,6 +91,12 @@ class TestCommittedReport:
         sim = by_kernel["simulator_query_throughput"]
         assert sim["n_rects"] >= 50_000
         assert sim["speedup_vs_dense"] >= 3.0
+        sweep = by_kernel["stack_distance_sweep"]
+        assert sweep["n_points"] >= 200_000
+        assert sweep["speedup_vs_dense"] >= 10.0
+        probe = by_kernel["probe_simulation_throughput"]
+        assert probe["unit"] == "queries/s"
+        assert probe["ops_per_s"] > 0
 
 
 class TestBuildReport:

@@ -96,6 +96,26 @@ class TestGridEqualsDense:
         stabber = make_stabber(random_rects(rng, 5000), mode="auto")
         assert isinstance(stabber, GridStabbingIndex)
 
+    def test_auto_mode_point_hint_promotes_to_grid(self, rng):
+        # A small rect set stabbed by enough points favours the grid:
+        # dense work is rects x points, grid work is near-linear.
+        rects = random_rects(rng, 500)
+        assert isinstance(
+            make_stabber(rects, mode="auto", n_points=200_000),
+            GridStabbingIndex,
+        )
+        assert isinstance(
+            make_stabber(rects, mode="auto", n_points=1_000),
+            DenseStabber,
+        )
+
+    def test_point_hint_never_overrides_explicit_mode(self, rng):
+        rects = random_rects(rng, 500)
+        assert isinstance(
+            make_stabber(rects, mode="dense", n_points=200_000),
+            DenseStabber,
+        )
+
 
 def assert_same_count(rects: RectArray, points: np.ndarray) -> None:
     fast = count_points_inside(rects, points, method="sorted")

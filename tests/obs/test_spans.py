@@ -238,3 +238,53 @@ class TestFoldedStacks:
         assert payload["profile"] == {"x": 1}
         assert parse_chrome_trace(payload)[0].name == "root"
         assert folded_path.read_text().startswith("root ")
+
+
+class TestCpuTime:
+    """Per-span CPU time: injected cpu clock, exporters, cpu folded."""
+
+    def test_cpu_ns_from_injected_cpu_clock(self):
+        t = Tracer(clock=fake_clock(10), cpu_clock=fake_clock(3))
+        with t.span("a"):
+            pass
+        (only,) = t.finished()
+        assert only.duration_ns == 10
+        assert only.cpu_ns == 3
+
+    def test_real_cpu_clock_never_exceeds_wall_by_much(self):
+        t = Tracer()
+        with t.span("busy"):
+            sum(range(10_000))
+        (only,) = t.finished()
+        assert only.cpu_ns >= 0
+        # Single-threaded spans burn at most their wall time (plus
+        # scheduler noise well under the span's own duration).
+        assert only.cpu_ns <= only.duration_ns * 2 + 1_000_000
+
+    def test_chrome_trace_carries_cpu_us(self):
+        t = Tracer(clock=fake_clock(10), cpu_clock=fake_clock(4000))
+        with t.span("a"):
+            pass
+        event = chrome_trace(t.finished())["traceEvents"][1]
+        assert event["args"]["cpu_us"] == 4.0
+
+    def test_round_trip_preserves_cpu_us(self):
+        t = Tracer(clock=fake_clock(10), cpu_clock=fake_clock(5000))
+        with t.span("a"):
+            pass
+        (node,) = parse_chrome_trace(chrome_trace(t.finished()))
+        assert node.cpu_us == 5.0
+
+    def test_folded_cpu_metric(self):
+        t = Tracer(clock=fake_clock(1000), cpu_clock=fake_clock(2000))
+        with t.span("root"):
+            with t.span("child"):
+                pass
+        wall = folded_stacks(t.finished(), metric="wall")
+        cpu = folded_stacks(t.finished(), metric="cpu")
+        assert wall == ["root 2", "root;child 1"]
+        assert cpu == ["root 4", "root;child 2"]
+
+    def test_folded_rejects_unknown_metric(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            folded_stacks([], metric="gpu")

@@ -1,0 +1,279 @@
+"""``simulate_sweep``: bit-exact against per-capacity ``simulate``.
+
+The single-pass Mattson engine's whole contract is that it is an
+*optimization*, never a model change: for every workload, pinning
+level and warm-up mode it must return exactly the per-batch counters,
+batch-means estimates and warm-up lengths the online engine produces
+for each buffer size — and its outputs must not depend on the worker
+thread count.  Monotonicity (more buffer never means more misses on
+the same measurement window) is the inclusion property itself, checked
+directly on the stack-distance arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.buffer import PinningError
+from repro.obs import MetricsRegistry, Tracer, chrome_trace, use_tracer
+from repro.packing import pack_description
+from repro.queries import (
+    DataDrivenWorkload,
+    MixedWorkload,
+    UniformPointWorkload,
+    UniformRegionWorkload,
+)
+from repro.simulation import simulate, simulate_sweep
+from repro.simulation.stackdist import _stack_distances
+from tests.conftest import random_rects
+
+_RECTS = random_rects(np.random.default_rng(11), 800, max_side=0.03)
+_DESC = pack_description(_RECTS, capacity=16, ordering="hs")
+
+
+def assert_results_identical(sweep_result, online_result) -> None:
+    assert sweep_result.disk_accesses == online_result.disk_accesses
+    assert sweep_result.node_accesses == online_result.node_accesses
+    assert sweep_result.warmup_queries == online_result.warmup_queries
+    assert sweep_result.buffer_filled == online_result.buffer_filled
+    assert len(sweep_result.batch_stats) == len(online_result.batch_stats)
+    for ours, theirs in zip(
+        sweep_result.batch_stats, online_result.batch_stats
+    ):
+        assert ours.requests == theirs.requests
+        assert ours.hits == theirs.hits
+        assert ours.misses == theirs.misses
+        assert ours.evictions == theirs.evictions
+
+
+class TestBitExactAgainstOnline:
+    CASES = [
+        (
+            "point-warm-until-full",
+            UniformPointWorkload(),
+            dict(buffer_sizes=(1, 3, 11, 45), warmup_cap=4096),
+        ),
+        (
+            "region-pinned-root",
+            UniformRegionWorkload((0.08, 0.08)),
+            dict(buffer_sizes=(2, 9, 40), pinned_levels=1, warmup_cap=4096),
+        ),
+        (
+            "data-driven-explicit-warmup",
+            DataDrivenWorkload(_RECTS.centers(), (0.04, 0.04)),
+            dict(buffer_sizes=(2, 17), warmup_queries=700),
+        ),
+        (
+            "point-zero-warmup",
+            UniformPointWorkload(),
+            dict(buffer_sizes=(4, 19), warmup_queries=0),
+        ),
+        (
+            "point-warmup-cap-hit",
+            UniformPointWorkload(),
+            dict(buffer_sizes=(5, 100_000), warmup_cap=300),
+        ),
+        (
+            "mixed-fallback",
+            MixedWorkload(
+                [
+                    (0.6, UniformPointWorkload()),
+                    (0.4, UniformRegionWorkload((0.1, 0.1))),
+                ]
+            ),
+            dict(buffer_sizes=(3, 12), warmup_cap=2048),
+        ),
+        (
+            "fifo-fallback",
+            UniformPointWorkload(),
+            dict(buffer_sizes=(3, 12), policy="fifo", warmup_cap=2048),
+        ),
+    ]
+
+    @pytest.mark.parametrize(
+        "workload, kwargs", [c[1:] for c in CASES], ids=[c[0] for c in CASES]
+    )
+    def test_every_size_matches_simulate(self, workload, kwargs):
+        common = dict(n_batches=3, batch_size=200, rng=5, **kwargs)
+        results = simulate_sweep(_DESC, workload, **common)
+        buffer_sizes = common.pop("buffer_sizes")
+        assert len(results) == len(buffer_sizes)
+        for size, result in zip(buffer_sizes, results):
+            assert_results_identical(
+                result, simulate(_DESC, workload, size, **common)
+            )
+
+    def test_results_independent_of_thread_count(self):
+        kwargs = dict(
+            buffer_sizes=(2, 7, 30, 80),
+            n_batches=3,
+            batch_size=250,
+            rng=3,
+        )
+        serial = simulate_sweep(_DESC, UniformPointWorkload(), **kwargs,
+                                max_threads=1)
+        threaded = simulate_sweep(_DESC, UniformPointWorkload(), **kwargs,
+                                  max_threads=8)
+        for a, b in zip(serial, threaded):
+            assert_results_identical(a, b)
+
+
+class TestInclusionProperty:
+    @settings(
+        max_examples=30, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=1, max_value=4000),
+        st.integers(min_value=1, max_value=200),
+    )
+    def test_misses_monotone_in_capacity(self, seed, length, alphabet):
+        # The inclusion property: a larger LRU holds a superset, so
+        # per-access outcomes (hence total misses) can only improve.
+        pages = np.random.default_rng(seed).integers(
+            0, alphabet, size=length
+        )
+        cold, depth, ccold = _stack_distances(pages.astype(np.int64))
+        misses = [
+            int(np.sum(cold | (depth >= capacity)))
+            for capacity in range(1, alphabet + 2)
+        ]
+        assert all(a >= b for a, b in zip(misses, misses[1:]))
+        # Capacity > alphabet: only cold misses remain.
+        assert misses[-1] == int(np.sum(cold)) == ccold[-1]
+
+    def test_sweep_misses_monotone_on_fixed_window(self):
+        # With an explicit warm-up every capacity measures the same
+        # query window, so per-batch misses are monotone across sizes.
+        results = simulate_sweep(
+            _DESC,
+            UniformPointWorkload(),
+            (1, 2, 4, 8, 16, 32, 64, 128),
+            n_batches=3,
+            batch_size=300,
+            warmup_queries=500,
+            rng=9,
+        )
+        for smaller, larger in zip(results, results[1:]):
+            for a, b in zip(smaller.batch_stats, larger.batch_stats):
+                assert a.misses >= b.misses
+
+
+class TestObservability:
+    def test_spans_and_metrics(self):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        previous = use_tracer(tracer)
+        try:
+            simulate_sweep(
+                _DESC,
+                UniformPointWorkload(),
+                (2, 8, 33),
+                n_batches=2,
+                batch_size=150,
+                warmup_queries=200,
+                rng=1,
+                registry=registry,
+            )
+        finally:
+            use_tracer(previous)
+        by_name: dict[str, list] = {}
+        for finished_span in tracer.finished():
+            by_name.setdefault(finished_span.name, []).append(finished_span)
+        (root,) = by_name["simulate.sweep"]
+        assert root.attrs["mode"] == "stackdist"
+        assert root.attrs["capacities"] == 3
+        assert len(by_name["stackdist.capacity"]) == 3
+        assert by_name["stackdist.stream"][0].attrs["queries"] > 0
+        metrics = registry.to_dict()
+        assert metrics["gauges"]["sweep.capacities"] == 3
+        assert metrics["timers"]["simulate.sweep"]["count"] == 1
+
+    def test_fallback_mode_span(self):
+        tracer = Tracer()
+        previous = use_tracer(tracer)
+        try:
+            simulate_sweep(
+                _DESC,
+                UniformPointWorkload(),
+                (2, 8),
+                n_batches=2,
+                batch_size=100,
+                warmup_queries=100,
+                policy="fifo",
+                rng=1,
+            )
+        finally:
+            use_tracer(previous)
+        (root,) = [s for s in tracer.finished() if s.name == "simulate.sweep"]
+        assert root.attrs["mode"] == "fallback"
+
+    def test_worker_threads_densified_in_trace(self):
+        # The sweep is a genuinely concurrent tracer workload: worker
+        # spans must carry small densified thread indices, not OS ids.
+        tracer = Tracer()
+        previous = use_tracer(tracer)
+        try:
+            simulate_sweep(
+                _DESC,
+                UniformPointWorkload(),
+                (1, 2, 4, 8, 16, 32, 64, 128),
+                n_batches=2,
+                batch_size=200,
+                warmup_queries=300,
+                rng=2,
+                max_threads=4,
+            )
+        finally:
+            use_tracer(previous)
+        indices = {s.thread_index for s in tracer.finished()}
+        assert indices == set(range(len(indices)))
+        capacity_spans = [
+            s for s in tracer.finished() if s.name == "stackdist.capacity"
+        ]
+        assert len(capacity_spans) == 8
+        assert all(s.thread_index >= 1 for s in capacity_spans)
+        # The export carries the densified ids, never OS thread ids.
+        payload = chrome_trace(tracer.finished())
+        tids = {
+            e["tid"] for e in payload["traceEvents"] if e.get("ph") == "X"
+        }
+        assert tids == indices
+
+
+class TestValidation:
+    def test_rejects_generator_rng(self):
+        with pytest.raises(TypeError, match="reproducible seed"):
+            simulate_sweep(
+                _DESC,
+                UniformPointWorkload(),
+                (2,),
+                rng=np.random.default_rng(0),
+            )
+
+    def test_rejects_unpinnable_sizes(self):
+        with pytest.raises(PinningError):
+            simulate_sweep(
+                _DESC,
+                UniformPointWorkload(),
+                (2, 500),
+                pinned_levels=_DESC.height,
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(buffer_sizes=()),
+            dict(buffer_sizes=(0,)),
+            dict(buffer_sizes=(4,), n_batches=1),
+            dict(buffer_sizes=(4,), batch_size=0),
+            dict(buffer_sizes=(4,), warmup_cap=-1),
+            dict(buffer_sizes=(4,), policy="nonsense"),
+            dict(buffer_sizes=(4,), pinned_levels=99),
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            simulate_sweep(_DESC, UniformPointWorkload(), **kwargs)
