@@ -160,3 +160,20 @@ __all__ = [
     "validate_model",
     "__version__",
 ]
+
+
+def _maybe_install_sanitizer() -> None:
+    """Activate the shared-state sanitizer when REPRO_SANITIZE=1.
+
+    Lazy imports keep the cost at zero for normal runs: the analysis
+    package is only pulled in when the flag is set.
+    """
+    import os
+
+    if os.environ.get("REPRO_SANITIZE", "").strip() in ("1", "true", "on"):
+        from .analysis.sanitize import install
+
+        install()
+
+
+_maybe_install_sanitizer()

@@ -1,0 +1,94 @@
+"""Violation baselines: gate CI on *new* findings only.
+
+Introducing a whole-program rule to a living tree surfaces existing
+debt; blocking every PR on all of it at once would only teach people
+to disable the analyzer.  The committed baseline
+(``analysis-baseline.json``) records the findings the project has
+explicitly accepted; the CLI subtracts them and fails only when a
+finding is not covered.
+
+Matching is by ``(path, rule, message)`` with multiplicity — line
+numbers are deliberately excluded, because unrelated edits move
+accepted findings around and a baseline that rots with every reflow
+is worse than none.  Fixing a baselined finding leaves a stale entry
+behind; regenerate with ``--write-baseline`` to shed it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from .core import Violation
+
+__all__ = [
+    "SCHEMA",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+SCHEMA = "repro-analysis-baseline/1"
+
+_Key = tuple[str, str, str]
+
+
+def _key(violation: Violation) -> _Key:
+    return (violation.path, violation.rule_id, violation.message)
+
+
+def write_baseline(path: Path, violations: Iterable[Violation]) -> int:
+    """Write a baseline accepting ``violations``; returns entry count."""
+    counts = Counter(_key(v) for v in violations)
+    entries = [
+        {"path": p, "rule": rule, "message": message, "count": count}
+        for (p, rule, message), count in sorted(counts.items())
+    ]
+    payload = {"schema": SCHEMA, "entries": entries}
+    path.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+def load_baseline(path: Path) -> Counter:
+    """Load accepted-violation multiplicities from a baseline file."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: not a {SCHEMA!r} baseline "
+            f"(schema={data.get('schema')!r})"
+        )
+    counts: Counter = Counter()
+    for entry in data.get("entries", []):
+        key = (
+            str(entry["path"]),
+            str(entry["rule"]),
+            str(entry["message"]),
+        )
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def apply_baseline(
+    violations: list[Violation], baseline: Counter
+) -> tuple[list[Violation], int]:
+    """Split findings into (new, matched-count) against a baseline.
+
+    Each accepted entry absorbs up to ``count`` identical findings;
+    any excess — a finding repeated more often than the baseline
+    allows — is new.
+    """
+    budget = Counter(baseline)
+    new: list[Violation] = []
+    matched = 0
+    for violation in violations:
+        key = _key(violation)
+        if budget[key] > 0:
+            budget[key] -= 1
+            matched += 1
+        else:
+            new.append(violation)
+    return new, matched

@@ -1,23 +1,67 @@
-"""Command-line front end: ``repro-analysis [paths] --format text|json``.
+"""Command-line front end: ``repro-analysis [paths] [options]``.
 
-Exit status: 0 when the tree is clean, 1 when violations are found,
-2 on usage errors.  The text format is one ``file:line:col RLxxx
-message`` line per violation — greppable and editor-clickable; the
-JSON format carries the same records plus a summary for tooling.
+Exit status: 0 when the tree is clean (or every finding is covered by
+the ``--baseline`` file), 1 when *new* violations are found, 2 on
+usage errors.  Formats:
+
+``text``
+    One ``file:line:col RLxxx message`` line per violation —
+    greppable and editor-clickable.
+``json``
+    The same records plus a summary, for tooling and CI artifacts.
+``github``
+    GitHub Actions workflow commands (``::error file=…``), so new
+    findings annotate the offending lines directly in a PR diff.
+
+``--select`` accepts ranges: ``--select RL001-RL012`` expands to
+every registered rule in the numeric range.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 
 from . import rules as _rules  # noqa: F401  (import populates the registry)
+from .baseline import apply_baseline, load_baseline, write_baseline
 from .config import Config, find_pyproject, load_config
-from .core import registry, run_analysis
+from .core import Violation, registry, run_analysis
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "expand_select", "format_github", "main"]
+
+_RANGE_RE = re.compile(r"^(?P<prefix>[A-Za-z]+)(?P<lo>\d+)-(?P=prefix)?(?P<hi>\d+)$")
+
+
+def expand_select(tokens: tuple[str, ...]) -> tuple[str, ...]:
+    """Expand ``RL001-RL012``-style ranges to registered rule ids."""
+    registered = [rule.id for rule in registry.all_rules()]
+    out: list[str] = []
+    for token in tokens:
+        match = _RANGE_RE.match(token)
+        if match is None:
+            out.append(token)
+            continue
+        prefix = match.group("prefix")
+        lo, hi = int(match.group("lo")), int(match.group("hi"))
+        width = len(match.group("lo"))
+        wanted = {f"{prefix}{i:0{width}d}" for i in range(lo, hi + 1)}
+        expanded = [r for r in registered if r in wanted]
+        if not expanded:
+            raise ValueError(f"rule range matches nothing: {token!r}")
+        out.extend(expanded)
+    return tuple(dict.fromkeys(out))
+
+
+def format_github(violation: Violation) -> str:
+    """One GitHub Actions ``::error`` workflow command per finding."""
+    message = violation.message.replace("%", "%25").replace("\n", "%0A")
+    return (
+        f"::error file={violation.path},line={violation.line},"
+        f"col={violation.col},title={violation.rule_id}::{message}"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,19 +78,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
         "--select",
         metavar="RULES",
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule ids or ranges (RL001-RL012) to run",
     )
     parser.add_argument(
         "--ignore",
         metavar="RULES",
         help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="accepted-violations file: exit 0 unless NEW findings "
+        "appear beyond it",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="write the current findings as the accepted baseline "
+        "and exit 0",
     )
     parser.add_argument(
         "--pyproject",
@@ -62,21 +118,35 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _resolve_config(args: argparse.Namespace) -> Config:
+def _resolve_config(
+    args: argparse.Namespace,
+) -> tuple[Config, Path | None]:
+    """The effective config, and the analysis root (pyproject's home).
+
+    Anchoring the root at the pyproject keeps reported paths and the
+    usage index stable no matter where the CLI is invoked from — a
+    baseline written in CI must match one written from an editor.
+    """
     pyproject = (
         Path(args.pyproject) if args.pyproject else find_pyproject(Path.cwd())
     )
     config = load_config(pyproject)
     overrides: dict[str, object] = {}
     if args.select:
-        overrides["select"] = tuple(
-            token.strip() for token in args.select.split(",") if token.strip()
+        overrides["select"] = expand_select(
+            tuple(
+                token.strip()
+                for token in args.select.split(",")
+                if token.strip()
+            )
         )
     if args.ignore:
         overrides["ignore"] = tuple(
             token.strip() for token in args.ignore.split(",") if token.strip()
         )
-    return config.override(**overrides) if overrides else config
+    if overrides:
+        config = config.override(**overrides)
+    return config, pyproject.parent if pyproject else None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -90,7 +160,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     try:
-        config = _resolve_config(args)
+        config, root = _resolve_config(args)
     except ValueError as exc:
         parser.error(str(exc))
 
@@ -100,15 +170,34 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"no such path(s): {', '.join(str(p) for p in missing)}")
 
     try:
-        violations, n_files = run_analysis(paths, config)
+        violations, n_files = run_analysis(paths, config, root=root)
     except ValueError as exc:  # unknown rule id in --select
         parser.error(str(exc))
+
+    if args.write_baseline:
+        entries = write_baseline(Path(args.write_baseline), violations)
+        print(
+            f"reprolint: wrote {entries} baseline entr"
+            f"{'y' if entries == 1 else 'ies'} "
+            f"({len(violations)} finding(s)) to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    matched = 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(Path(args.baseline))
+        except (OSError, ValueError, KeyError) as exc:
+            parser.error(f"cannot load baseline: {exc}")
+        violations, matched = apply_baseline(violations, baseline)
 
     if args.format == "json":
         print(
             json.dumps(
                 {
                     "files_checked": n_files,
+                    "baseline_matched": matched,
                     "violations": [v.to_dict() for v in violations],
                 },
                 indent=2,
@@ -116,14 +205,21 @@ def main(argv: list[str] | None = None) -> int:
         )
     else:
         for violation in violations:
-            print(violation.format())
+            if args.format == "github":
+                print(format_github(violation))
+            else:
+                print(violation.format())
         noun = "file" if n_files == 1 else "files"
+        suffix = f" ({matched} baselined)" if matched else ""
         if violations:
             print(
-                f"reprolint: {len(violations)} violation(s) in {n_files} "
-                f"{noun} checked",
+                f"reprolint: {len(violations)} new violation(s) in "
+                f"{n_files} {noun} checked{suffix}",
                 file=sys.stderr,
             )
         else:
-            print(f"reprolint: {n_files} {noun} clean", file=sys.stderr)
+            print(
+                f"reprolint: {n_files} {noun} clean{suffix}",
+                file=sys.stderr,
+            )
     return 1 if violations else 0

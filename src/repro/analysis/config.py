@@ -48,6 +48,33 @@ class Config:
     """Where RL004 (experiment registration) applies."""
     rng_helper_paths: tuple[str, ...] = ()
     """Modules allowed to call ``default_rng()`` without a seed (RL007)."""
+    usage_paths: tuple[str, ...] = ("tests", "benchmarks", "tools", "examples")
+    """Consumer-only trees scanned (relative to the repo root) when
+    building the export-usage index for RL011 — their imports count as
+    usage, but no rules run on them."""
+    dag_root: str = "repro"
+    """The package whose immediate subpackages the canonical DAG
+    (RL008) layers.  Modules outside it are not layered."""
+    package_dag: tuple[str, ...] = (
+        # The canonical dependency DAG, mirrored in
+        # docs/ARCHITECTURE.md ("Dependency graph").  One entry per
+        # subpackage: "pkg -> dep dep ..." ("pkg ->" for leaves).
+        "geometry ->",
+        "hilbert ->",
+        "buffer ->",
+        "obs ->",
+        "analysis ->",
+        "accel -> geometry obs",
+        "rtree -> geometry obs",
+        "datasets -> geometry",
+        "packing -> geometry hilbert rtree obs",
+        "model -> accel buffer geometry obs rtree",
+        "queries -> accel geometry model",
+        "simulation -> accel buffer model obs queries rtree",
+        "experiments -> buffer datasets geometry model obs packing "
+        "queries rtree simulation",
+    )
+    """Allowed package-level import edges for RL008."""
 
     _KEY_MAP = {
         "paths": "paths",
@@ -58,6 +85,9 @@ class Config:
         "kernel-paths": "kernel_paths",
         "experiment-paths": "experiment_paths",
         "rng-helper-paths": "rng_helper_paths",
+        "usage-paths": "usage_paths",
+        "dag-root": "dag_root",
+        "package-dag": "package_dag",
     }
 
     @classmethod

@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 from .config import Config
+from .graph import ProjectGraph, build_project
 
 __all__ = [
     "ModuleContext",
@@ -84,6 +85,20 @@ class ModuleContext:
     """Parsed AST."""
     config: Config
     """The active analyzer configuration."""
+    project: ProjectGraph | None = None
+    """Whole-program context (import/symbol/call graphs), present when
+    the run was started through :func:`run_analysis` and at least one
+    selected rule sets ``requires_project``.  Per-module invocations
+    (:func:`check_module` without a project) leave it ``None``, and
+    whole-program rules yield nothing."""
+
+    @property
+    def module_name(self) -> str | None:
+        """This module's dotted name in the project graph, if known."""
+        if self.project is None:
+            return None
+        info = self.project.module_at(self.path)
+        return info.name if info is not None else None
 
     @property
     def stem(self) -> str:
@@ -123,6 +138,10 @@ class Rule:
     id: str = ""
     name: str = ""
     description: str = ""
+    requires_project: bool = False
+    """Set by whole-program rules: :func:`run_analysis` then builds a
+    :class:`~repro.analysis.graph.ProjectGraph` once for the run and
+    every :class:`ModuleContext` carries it in ``ctx.project``."""
 
     def check(self, ctx: ModuleContext) -> Iterator[Violation]:
         """Yield every violation found in ``ctx``."""
@@ -230,29 +249,43 @@ def _display_path(path: Path, root: Path | None) -> str:
 
 
 def check_module(
-    path: Path, config: Config, *, root: Path | None = None
+    path: Path,
+    config: Config,
+    *,
+    root: Path | None = None,
+    project: ProjectGraph | None = None,
 ) -> list[Violation]:
-    """Run every selected rule over one module and filter pragmas."""
+    """Run every selected rule over one module and filter pragmas.
+
+    When ``project`` is given (the :func:`run_analysis` path) the
+    already-parsed AST is reused; otherwise the file is parsed here
+    and whole-program rules see no project context.
+    """
     display = _display_path(path, root)
-    source = path.read_text(encoding="utf-8")
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [
-            Violation(
-                path=display,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                rule_id="E001",
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
+    info = project.module_at(path) if project is not None else None
+    if info is not None:
+        source, tree = info.source, info.tree
+    else:
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            return [
+                Violation(
+                    path=display,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    rule_id="E001",
+                    message=f"syntax error: {exc.msg}",
+                )
+            ]
     ctx = ModuleContext(
         path=path,
         display_path=display,
         source=source,
         tree=tree,
         config=config,
+        project=project,
     )
     suppressions = _parse_pragmas(source)
     violations: list[Violation] = []
@@ -263,6 +296,13 @@ def check_module(
     return violations
 
 
+def _usage_files(config: Config, root: Path | None) -> list[Path]:
+    """Consumer-only files for the export-usage index (RL011)."""
+    base = root if root is not None else Path.cwd()
+    roots = [base / fragment for fragment in config.usage_paths]
+    return list(iter_python_files([p for p in roots if p.exists()], config))
+
+
 def run_analysis(
     paths: Iterable[Path], config: Config, *, root: Path | None = None
 ) -> tuple[list[Violation], int]:
@@ -270,12 +310,20 @@ def run_analysis(
 
     Returns the sorted violation list and the number of files checked.
     ``root`` anchors the relative paths used in reports (defaults to
-    the current working directory).
+    the current working directory).  When any selected rule is a
+    whole-program rule, every file is parsed exactly once and a
+    project graph is built over the parsed set before rules run.
     """
+    files = list(iter_python_files(paths, config))
+    project: ProjectGraph | None = None
+    if any(rule.requires_project for rule in registry.selected(config)):
+        project = build_project(
+            files, usage_files=_usage_files(config, root), root=root
+        )
     violations: list[Violation] = []
-    n_files = 0
-    for path in iter_python_files(paths, config):
-        n_files += 1
-        violations.extend(check_module(path, config, root=root))
+    for path in files:
+        violations.extend(
+            check_module(path, config, root=root, project=project)
+        )
     violations.sort()
-    return violations, n_files
+    return violations, len(files)

@@ -1,0 +1,49 @@
+"""Whole-program analysis graphs for reprolint.
+
+PR 1's rules see one module at a time; the concurrency and layering
+rules (RL008–RL012) need the *project*: which module imports which,
+what every name resolves to, and what is reachable from a thread-pool
+submit site.  This subpackage builds those views from the same parsed
+ASTs the per-module rules use — stdlib only, deterministic (all
+iteration orders are sorted), and cheap enough to run on every lint
+(`tools/bench_analysis.py` holds the whole-program pass under 10 s).
+
+Layers, bottom up:
+
+* :mod:`modules` — module discovery and dotted-name assignment;
+* :mod:`symbols` — per-module symbol tables, ``__all__``/public
+  exports, and ``from … import *`` resolution (fixpoint);
+* :mod:`imports` — the project import graph, package-level edges, and
+  import-cycle detection (Tarjan SCC over module-level imports);
+* :mod:`callgraph` — the approximate call graph: function/method
+  nodes, name- and attribute-resolved call edges, executor submit
+  sites, and reachability;
+* :mod:`project` — :class:`ProjectGraph`, the bundle handed to rules
+  through ``ModuleContext.project``, plus the export-usage index that
+  RL011 builds over ``src``/``tests``/``benchmarks``/``tools``.
+"""
+
+from __future__ import annotations
+
+from .callgraph import CallGraph, FunctionNode, SubmitSite
+from .imports import ImportGraph, ImportRecord, find_cycles
+from .modules import ModuleInfo, module_name_for, parse_modules
+from .project import ProjectGraph, UsageIndex, build_project
+from .symbols import SymbolTable, build_symbol_tables
+
+__all__ = [
+    "CallGraph",
+    "FunctionNode",
+    "ImportGraph",
+    "ImportRecord",
+    "ModuleInfo",
+    "ProjectGraph",
+    "SubmitSite",
+    "SymbolTable",
+    "UsageIndex",
+    "build_project",
+    "build_symbol_tables",
+    "find_cycles",
+    "module_name_for",
+    "parse_modules",
+]

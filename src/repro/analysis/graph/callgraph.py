@@ -1,0 +1,393 @@
+"""An approximate, deterministic call graph over the project ASTs.
+
+"Approximate" is doing honest work here: Python's dynamism makes a
+sound static call graph impossible, so this one is built for the
+concurrency rule's real question — *which project functions can run on
+a worker thread?* — and resolves what can be resolved cheaply:
+
+* direct calls to module-level functions, including names imported
+  from other project modules (via the symbol tables);
+* class instantiation → the class's ``__init__``;
+* ``self.method()`` / ``cls.method()`` → the enclosing class's method;
+* ``alias.func()`` where ``alias`` is an imported project module;
+* ``obj.method()`` on an unknown receiver → *every* project class
+  method of that name (the conservative fallback that lets
+  ``stabber.stab(...)`` reach each stabber implementation);
+* lambdas are first-class nodes (``outer.<lambda:LINE>``), so a
+  lambda handed to ``pool.map`` carries its body's calls into the
+  reachable set.
+
+Submit sites — ``executor.submit(f, ...)`` / ``executor.map(f, ...)``
+on a name bound to a ``ThreadPoolExecutor``/``ProcessPoolExecutor``
+construction — are extracted here too, with their callable arguments
+resolved to function nodes; RL009 walks reachability from them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .modules import ModuleInfo
+from .symbols import SymbolTable
+
+__all__ = ["CallGraph", "FunctionNode", "SubmitSite", "build_call_graph"]
+
+_EXECUTOR_NAMES = frozenset(
+    {"ThreadPoolExecutor", "ProcessPoolExecutor"}
+)
+_SUBMIT_METHODS = frozenset({"submit", "map"})
+
+
+@dataclass(frozen=True)
+class FunctionNode:
+    """One function, method, or lambda in the project."""
+
+    key: str
+    """Global id: ``module:qualname``."""
+    module: str
+    qualname: str
+    """Dotted path inside the module (``Class.method``,
+    ``outer.inner``, ``outer.<lambda:12>``)."""
+    node: ast.AST
+    """The ``FunctionDef`` / ``AsyncFunctionDef`` / ``Lambda`` node."""
+    lineno: int
+    class_name: str | None = None
+    """Immediately enclosing class, for methods."""
+
+    @property
+    def name(self) -> str:
+        """The unqualified function name."""
+        return self.qualname.rpartition(".")[2]
+
+
+@dataclass(frozen=True)
+class SubmitSite:
+    """One ``executor.submit``/``executor.map`` call."""
+
+    module: str
+    caller: str
+    """Key of the function containing the call ('' at module level)."""
+    method: str
+    """``submit`` or ``map``."""
+    lineno: int
+    targets: tuple[str, ...]
+    """Resolved function keys of the submitted callable."""
+
+
+@dataclass
+class CallGraph:
+    """Function nodes, call edges, and executor submit sites."""
+
+    functions: dict[str, FunctionNode] = field(default_factory=dict)
+    edges: dict[str, set[str]] = field(default_factory=dict)
+    submit_sites: list[SubmitSite] = field(default_factory=list)
+
+    def calls_from(self, key: str) -> set[str]:
+        """Keys of functions ``key`` may call."""
+        return self.edges.get(key, set())
+
+    def reachable(self, roots: list[str]) -> set[str]:
+        """Every function key reachable from ``roots`` (inclusive)."""
+        seen: set[str] = set()
+        frontier = [key for key in roots if key in self.functions]
+        while frontier:
+            key = frontier.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            frontier.extend(sorted(self.edges.get(key, ())))
+        return seen
+
+    def submit_roots(self) -> list[str]:
+        """All callables handed to any executor, sorted and unique."""
+        out: set[str] = set()
+        for site in self.submit_sites:
+            out.update(site.targets)
+        return sorted(out)
+
+
+def build_call_graph(
+    modules: dict[str, ModuleInfo],
+    symbols: dict[str, SymbolTable],
+) -> CallGraph:
+    """Collect nodes, then resolve call and submit edges."""
+    graph = CallGraph()
+    method_index: dict[str, list[str]] = {}
+    for name, info in sorted(modules.items()):
+        _collect_functions(graph, method_index, info)
+    for name, info in sorted(modules.items()):
+        resolver = _Resolver(
+            graph, method_index, symbols.get(name), name
+        )
+        resolver.resolve_module(info.tree)
+    for key in graph.edges:
+        graph.edges[key] = set(graph.edges[key])
+    graph.submit_sites.sort(key=lambda s: (s.module, s.lineno))
+    return graph
+
+
+def _collect_functions(
+    graph: CallGraph,
+    method_index: dict[str, list[str]],
+    info: ModuleInfo,
+) -> None:
+    def visit(node: ast.AST, prefix: str, class_name: str | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                key = f"{info.name}:{qualname}"
+                graph.functions[key] = FunctionNode(
+                    key=key,
+                    module=info.name,
+                    qualname=qualname,
+                    node=child,
+                    lineno=child.lineno,
+                    class_name=class_name,
+                )
+                if class_name is not None:
+                    method_index.setdefault(child.name, []).append(key)
+                visit(child, f"{qualname}.", None)
+            elif isinstance(child, ast.Lambda):
+                qualname = f"{prefix}<lambda:{child.lineno}>"
+                key = f"{info.name}:{qualname}"
+                graph.functions[key] = FunctionNode(
+                    key=key,
+                    module=info.name,
+                    qualname=qualname,
+                    node=child,
+                    lineno=child.lineno,
+                    class_name=class_name,
+                )
+                visit(child, f"{qualname}.", None)
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}{child.name}.", child.name)
+            else:
+                visit(child, prefix, class_name)
+
+    visit(info.tree, "", None)
+
+
+class _Resolver:
+    """Resolves the calls of one module into graph edges."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        method_index: dict[str, list[str]],
+        table: SymbolTable | None,
+        module: str,
+    ) -> None:
+        self.graph = graph
+        self.method_index = method_index
+        self.table = table
+        self.module = module
+        self._module_tree: ast.Module | None = None
+
+    def resolve_module(self, tree: ast.Module) -> None:
+        self._module_tree = tree
+        self._walk_scope(tree, caller="", prefix="", class_name=None)
+
+    # -- scope walking --------------------------------------------------
+
+    def _walk_scope(
+        self,
+        node: ast.AST,
+        *,
+        caller: str,
+        prefix: str,
+        class_name: str | None,
+    ) -> None:
+        """Attribute calls in this scope to ``caller``; recurse into
+        nested defs with their own keys."""
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                self._walk_scope(
+                    child,
+                    caller=f"{self.module}:{qualname}",
+                    prefix=f"{qualname}.",
+                    class_name=class_name,
+                )
+            elif isinstance(child, ast.Lambda):
+                qualname = f"{prefix}<lambda:{child.lineno}>"
+                self._walk_scope(
+                    child,
+                    caller=f"{self.module}:{qualname}",
+                    prefix=f"{qualname}.",
+                    class_name=class_name,
+                )
+            elif isinstance(child, ast.ClassDef):
+                self._walk_scope(
+                    child,
+                    caller=caller,
+                    prefix=f"{prefix}{child.name}.",
+                    class_name=child.name,
+                )
+            else:
+                if isinstance(child, ast.Call):
+                    self._record_call(
+                        child, caller, prefix, class_name
+                    )
+                self._walk_scope(
+                    child,
+                    caller=caller,
+                    prefix=prefix,
+                    class_name=class_name,
+                )
+
+    # -- call resolution ------------------------------------------------
+
+    def _record_call(
+        self,
+        call: ast.Call,
+        caller: str,
+        prefix: str,
+        class_name: str | None,
+    ) -> None:
+        submit = self._submit_site(call, caller, prefix, class_name)
+        if submit is not None:
+            self.graph.submit_sites.append(submit)
+        for target in self._resolve_expr(call.func, prefix, class_name):
+            self.graph.edges.setdefault(caller, set()).add(target)
+
+    def _resolve_expr(
+        self,
+        expr: ast.expr,
+        prefix: str,
+        class_name: str | None,
+    ) -> list[str]:
+        """Function keys an expression may call (or refer to)."""
+        if isinstance(expr, ast.Lambda):
+            return [f"{self.module}:{prefix}<lambda:{expr.lineno}>"]
+        if isinstance(expr, ast.Name):
+            return self._resolve_name(expr.id, prefix)
+        if isinstance(expr, ast.Attribute):
+            return self._resolve_attribute(expr, class_name)
+        return []
+
+    def _resolve_name(self, name: str, prefix: str) -> list[str]:
+        # innermost enclosing scopes first: outer.inner sees outer.helper
+        parts = prefix.rstrip(".").split(".") if prefix else []
+        for depth in range(len(parts), -1, -1):
+            scoped = ".".join(parts[:depth] + [name])
+            key = f"{self.module}:{scoped}"
+            if key in self.graph.functions:
+                return [key]
+            init = f"{self.module}:{scoped}.__init__"
+            if init in self.graph.functions:
+                return [init]
+        symbol = self.table.resolve(name) if self.table else None
+        if symbol is None or symbol.kind != "def" or not symbol.attr:
+            return []
+        return self._project_function(symbol.origin, symbol.attr)
+
+    def _resolve_attribute(
+        self, expr: ast.Attribute, class_name: str | None
+    ) -> list[str]:
+        base, attr = expr.value, expr.attr
+        if isinstance(base, ast.Name):
+            if base.id in ("self", "cls") and class_name is not None:
+                key = f"{self.module}:{class_name}.{attr}"
+                if key in self.graph.functions:
+                    return [key]
+                return sorted(self.method_index.get(attr, []))
+            symbol = self.table.resolve(base.id) if self.table else None
+            if symbol is not None and symbol.kind == "module":
+                return self._project_function(symbol.origin, attr)
+            if symbol is not None and symbol.kind == "external":
+                return []
+        # unknown receiver: every project method of that name
+        return sorted(self.method_index.get(attr, []))
+
+    def _project_function(self, module: str, attr: str) -> list[str]:
+        key = f"{module}:{attr}"
+        if key in self.graph.functions:
+            return [key]
+        init = f"{module}:{attr}.__init__"
+        if init in self.graph.functions:
+            return [init]
+        return []
+
+    # -- submit sites ---------------------------------------------------
+
+    def _submit_site(
+        self,
+        call: ast.Call,
+        caller: str,
+        prefix: str,
+        class_name: str | None,
+    ) -> SubmitSite | None:
+        func = call.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SUBMIT_METHODS
+            and call.args
+        ):
+            return None
+        if not self._is_executor(func.value, caller):
+            return None
+        targets = self._resolve_expr(call.args[0], prefix, class_name)
+        return SubmitSite(
+            module=self.module,
+            caller=caller,
+            method=func.attr,
+            lineno=call.lineno,
+            targets=tuple(sorted(targets)),
+        )
+
+    def _is_executor(self, expr: ast.expr, caller: str) -> bool:
+        """Does ``expr`` plausibly evaluate to an executor?
+
+        True for a direct ``ThreadPoolExecutor(...)`` construction and
+        for any name that is assigned (or ``with``-bound) from one
+        anywhere in the enclosing function or module — an
+        over-approximation that errs on the side of finding sites.
+        """
+        if _constructs_executor(expr):
+            return True
+        if not isinstance(expr, ast.Name):
+            return False
+        scopes: list[ast.AST] = []
+        fn = self.graph.functions.get(caller)
+        if fn is not None:
+            scopes.append(fn.node)
+        if self._module_tree is not None:
+            scopes.append(self._module_tree)
+        for scope in scopes:
+            if expr.id in _executor_names(scope):
+                return True
+        return False
+
+
+def _constructs_executor(expr: ast.expr) -> bool:
+    """Does this expression (or a branch of it) build an executor?"""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            callee = node.func
+            name = (
+                callee.attr
+                if isinstance(callee, ast.Attribute)
+                else callee.id
+                if isinstance(callee, ast.Name)
+                else None
+            )
+            if name in _EXECUTOR_NAMES:
+                return True
+    return False
+
+
+def _executor_names(scope: ast.AST) -> set[str]:
+    """Names bound to an executor construction inside ``scope``."""
+    names: set[str] = set()
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign) and _constructs_executor(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.withitem) and _constructs_executor(
+            node.context_expr
+        ):
+            if isinstance(node.optional_vars, ast.Name):
+                names.add(node.optional_vars.id)
+    return names

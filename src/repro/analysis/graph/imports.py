@@ -1,0 +1,183 @@
+"""The project import graph: who imports whom, and any cycles.
+
+Edges are recorded per import statement with their line numbers (so
+RL008 can point at the offending line) and with a ``toplevel`` flag:
+imports inside function bodies are *deferred* — they do not execute at
+import time, cannot create import-time cycles, and are the sanctioned
+escape hatch for tooling that must reach across layers (the sanitizer
+wraps runtime classes this way).  Cycle detection and layering
+therefore consider module-level imports only.
+
+Cycles come from Tarjan's strongly-connected-components algorithm
+(iterative — analyzer recursion must not depend on project size),
+reported as sorted member lists for deterministic output.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .modules import ModuleInfo
+from .symbols import _project_prefix, _resolve_relative
+
+__all__ = ["ImportGraph", "ImportRecord", "build_import_graph", "find_cycles"]
+
+
+@dataclass(frozen=True)
+class ImportRecord:
+    """One resolved project-internal import."""
+
+    importer: str
+    """Module containing the import statement."""
+    target: str
+    """Project module imported (longest-prefix resolution)."""
+    raw: str
+    """The dotted name as written (absolute form)."""
+    lineno: int
+    toplevel: bool
+    """True when the import executes at module import time."""
+
+
+@dataclass
+class ImportGraph:
+    """Project-internal import records, keyed by importer."""
+
+    records: dict[str, list[ImportRecord]] = field(default_factory=dict)
+
+    def edges(self, *, toplevel_only: bool = True) -> dict[str, set[str]]:
+        """Importer → set of imported project modules."""
+        out: dict[str, set[str]] = {}
+        for importer, records in self.records.items():
+            targets = {
+                r.target
+                for r in records
+                if r.toplevel or not toplevel_only
+            }
+            out[importer] = targets
+        return out
+
+    def imports_of(self, module: str) -> list[ImportRecord]:
+        """All project imports made by ``module`` (empty when none)."""
+        return self.records.get(module, [])
+
+
+def build_import_graph(modules: dict[str, ModuleInfo]) -> ImportGraph:
+    """Resolve every import statement against the project module map."""
+    graph = ImportGraph()
+    for name, info in sorted(modules.items()):
+        records: list[ImportRecord] = []
+        for node, toplevel in _imports_with_depth(info.tree):
+            if isinstance(node, ast.Import):
+                raws = [alias.name for alias in node.names]
+            else:
+                base = _resolve_relative(
+                    info.package, node.level, node.module
+                )
+                raws = []
+                for alias in node.names:
+                    if alias.name == "*":
+                        raws.append(base)
+                    elif f"{base}.{alias.name}" in modules:
+                        # importing a submodule binds (and imports) it
+                        raws.append(f"{base}.{alias.name}")
+                    else:
+                        raws.append(base)
+            for raw in raws:
+                target = _project_prefix(raw, modules)
+                if target is None or target == name:
+                    continue
+                records.append(
+                    ImportRecord(
+                        importer=name,
+                        target=target,
+                        raw=raw,
+                        lineno=node.lineno,
+                        toplevel=toplevel,
+                    )
+                )
+        if records:
+            graph.records[name] = records
+    return graph
+
+
+def _imports_with_depth(
+    tree: ast.Module,
+) -> list[tuple[ast.Import | ast.ImportFrom, bool]]:
+    """Every import node paired with whether it runs at module level."""
+    out: list[tuple[ast.Import | ast.ImportFrom, bool]] = []
+    stack: list[tuple[ast.AST, bool]] = [
+        (stmt, True) for stmt in reversed(tree.body)
+    ]
+    while stack:
+        node, toplevel = stack.pop()
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            out.append((node, toplevel))
+            continue
+        inner = toplevel and not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        )
+        for child in reversed(list(ast.iter_child_nodes(node))):
+            stack.append((child, inner))
+    return out
+
+
+def find_cycles(edges: dict[str, set[str]]) -> list[list[str]]:
+    """Import cycles: every SCC with more than one member (or a
+    self-loop), each sorted internally, cycles sorted by first member.
+
+    Iterative Tarjan — deterministic because roots and successors are
+    visited in sorted order.
+    """
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    cycles: list[list[str]] = []
+
+    def strongconnect(root: str) -> None:
+        work: list[tuple[str, Iterator[str]]] = [
+            (root, iter(sorted(edges.get(root, ()))))
+        ]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(edges.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in edges.get(node, ()):
+                    cycles.append(sorted(component))
+
+    for node in sorted(edges):
+        if node not in index:
+            strongconnect(node)
+    cycles.sort()
+    return cycles

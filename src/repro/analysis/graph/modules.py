@@ -1,0 +1,105 @@
+"""Module discovery: files on disk → named, parsed project modules.
+
+A whole-program pass needs a stable identity for every module so the
+import graph, symbol tables and call graph can cross-reference each
+other.  The identity is the *dotted module name* derived from the
+package structure on disk (``src/repro/obs/spans.py`` →
+``repro.obs.spans``), computed by walking up through ``__init__.py``
+parents — the same resolution the interpreter performs, so relative
+imports resolve identically.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["ModuleInfo", "module_name_for", "parse_modules"]
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed project module."""
+
+    name: str
+    """Dotted module name (``repro.obs.spans``)."""
+    path: Path
+    """Filesystem path of the source file."""
+    display_path: str
+    """Path as reported in violations (posix, relative when possible)."""
+    source: str
+    """Raw module source."""
+    tree: ast.Module
+    """Parsed AST (shared with the per-module rules)."""
+
+    @property
+    def is_package(self) -> bool:
+        """True for ``__init__.py`` modules."""
+        return self.path.name == "__init__.py"
+
+    @property
+    def package(self) -> str:
+        """The package this module's relative imports resolve against."""
+        if self.is_package:
+            return self.name
+        return self.name.rpartition(".")[0]
+
+
+def module_name_for(path: Path) -> str:
+    """The dotted module name of ``path``, from its package ancestry.
+
+    Walks upward while an ``__init__.py`` sibling exists, exactly like
+    the import system: the first directory *without* one is the import
+    root.  A lone script outside any package is just its stem.
+    """
+    path = path.resolve()
+    parts: list[str] = [] if path.name == "__init__.py" else [path.stem]
+    directory = path.parent
+    while (directory / "__init__.py").is_file():
+        parts.append(directory.name)
+        parent = directory.parent
+        if parent == directory:  # filesystem root
+            break
+        directory = parent
+    parts.reverse()
+    return ".".join(parts) if parts else path.stem
+
+
+def parse_modules(
+    paths: list[Path], *, root: Path | None = None
+) -> dict[str, ModuleInfo]:
+    """Parse ``paths`` into a name-keyed module map.
+
+    Files that fail to parse are silently skipped — the per-module
+    pass reports the syntax error with its location, and a broken
+    module contributes nothing reliable to a whole-program graph
+    anyway.  On a (pathological) dotted-name collision the module
+    whose posix path sorts first wins, keeping the map deterministic.
+    """
+    modules: dict[str, ModuleInfo] = {}
+    for path in sorted(paths, key=lambda p: p.as_posix()):
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError):
+            continue
+        name = module_name_for(path)
+        if name in modules:
+            continue
+        modules[name] = ModuleInfo(
+            name=name,
+            path=path,
+            display_path=_display_path(path, root),
+            source=source,
+            tree=tree,
+        )
+    return modules
+
+
+def _display_path(path: Path, root: Path | None) -> str:
+    base = root if root is not None else Path.cwd()
+    try:
+        return path.resolve().relative_to(base.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()

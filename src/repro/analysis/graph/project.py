@@ -1,0 +1,185 @@
+"""The :class:`ProjectGraph` bundle handed to whole-program rules.
+
+``run_analysis`` builds one per run (parsing every file exactly once)
+and threads it through ``ModuleContext.project``; a rule that sets
+``requires_project = True`` can then reach the import graph, symbol
+tables, call graph, and the export-usage index from any module's
+context.
+
+The usage index deserves a note: dead-export analysis (RL011) must
+see *consumers* that are not themselves analyzed — tests, benchmarks,
+tools.  Those trees are parsed as "usage-only" files: their imports
+and module-attribute accesses are indexed, but they contribute no
+modules, no rules run on them, and their own exports are not checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .callgraph import CallGraph, build_call_graph
+from .imports import ImportGraph, build_import_graph
+from .modules import ModuleInfo, module_name_for, parse_modules
+from .symbols import (
+    SymbolTable,
+    _project_prefix,
+    _resolve_relative,
+    build_symbol_tables,
+)
+
+__all__ = ["ProjectGraph", "UsageIndex", "build_project"]
+
+
+@dataclass
+class UsageIndex:
+    """Where exported names are consumed, across the whole repo."""
+
+    used: set[tuple[str, str]] = field(default_factory=set)
+    """(defining module, name) pairs imported or attribute-accessed by
+    some *other* module."""
+    star_imported: set[str] = field(default_factory=set)
+    """Modules star-imported by another module: every export used."""
+
+    def is_used(self, module: str, name: str) -> bool:
+        """Is ``module.name`` consumed anywhere outside ``module``?"""
+        return (
+            (module, name) in self.used or module in self.star_imported
+        )
+
+
+@dataclass
+class ProjectGraph:
+    """Everything a whole-program rule may look at."""
+
+    modules: dict[str, ModuleInfo]
+    imports: ImportGraph
+    symbols: dict[str, SymbolTable]
+    callgraph: CallGraph
+    usage: UsageIndex
+    by_path: dict[Path, ModuleInfo] = field(default_factory=dict)
+
+    def module_at(self, path: Path) -> ModuleInfo | None:
+        """The project module living at ``path``, if any."""
+        return self.by_path.get(path.resolve())
+
+
+def build_project(
+    files: list[Path],
+    *,
+    usage_files: list[Path] = (),
+    root: Path | None = None,
+) -> ProjectGraph:
+    """Parse, then build every graph layer over the parsed modules."""
+    modules = parse_modules(list(files), root=root)
+    symbols = build_symbol_tables(modules)
+    graph = ProjectGraph(
+        modules=modules,
+        imports=build_import_graph(modules),
+        symbols=symbols,
+        callgraph=build_call_graph(modules, symbols),
+        usage=_build_usage(modules, list(usage_files)),
+        by_path={
+            info.path.resolve(): info for info in modules.values()
+        },
+    )
+    return graph
+
+
+def _build_usage(
+    modules: dict[str, ModuleInfo], usage_files: list[Path]
+) -> UsageIndex:
+    index = UsageIndex()
+    consumers: list[tuple[str, str, ast.Module]] = [
+        (info.name, info.package, info.tree)
+        for info in modules.values()
+    ]
+    for path in sorted(set(usage_files), key=lambda p: p.as_posix()):
+        try:
+            tree = ast.parse(
+                path.read_text(encoding="utf-8"), filename=str(path)
+            )
+        except (OSError, SyntaxError):
+            continue
+        name = module_name_for(path)
+        package = name if path.name == "__init__.py" else name.rpartition(".")[0]
+        consumers.append((name, package, tree))
+    for consumer, package, tree in consumers:
+        _index_consumer(index, modules, consumer, package, tree)
+    return index
+
+
+def _index_consumer(
+    index: UsageIndex,
+    modules: dict[str, ModuleInfo],
+    consumer: str,
+    package: str,
+    tree: ast.Module,
+) -> None:
+    """Record every project name ``consumer`` imports or touches."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                project = _project_prefix(alias.name, modules)
+                if project is None:
+                    continue
+                bound = alias.asname or alias.name.partition(".")[0]
+                aliases[bound] = alias.name if alias.asname else bound
+                # `import repro.obs` marks repro's attribute `obs` used
+                _mark_chain(index, modules, alias.name.split("."), consumer)
+        elif isinstance(node, ast.ImportFrom):
+            target = _resolve_relative(package, node.level, node.module)
+            project = _project_prefix(target, modules)
+            if project is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    if target in modules:
+                        index.star_imported.add(target)
+                    continue
+                if target != consumer:
+                    index.used.add((target, alias.name))
+                if f"{target}.{alias.name}" in modules:
+                    aliases[alias.asname or alias.name] = (
+                        f"{target}.{alias.name}"
+                    )
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute):
+            chain = _attribute_chain(node)
+            if chain is None:
+                continue
+            base = aliases.get(chain[0])
+            if base is not None:
+                chain = base.split(".") + chain[1:]
+            _mark_chain(index, modules, chain, consumer)
+
+
+def _mark_chain(
+    index: UsageIndex,
+    modules: dict[str, ModuleInfo],
+    chain: list[str],
+    consumer: str,
+) -> None:
+    """For ``a.b.c``, mark ``c`` used on the longest module prefix —
+    and each intermediate submodule used on its parent package."""
+    for end in range(len(chain) - 1, 0, -1):
+        prefix = ".".join(chain[:end])
+        if prefix in modules:
+            if prefix != consumer:
+                index.used.add((prefix, chain[end]))
+            return
+
+
+def _attribute_chain(node: ast.Attribute) -> list[str] | None:
+    parts: list[str] = []
+    cursor: ast.expr = node
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if not isinstance(cursor, ast.Name):
+        return None
+    parts.append(cursor.id)
+    parts.reverse()
+    return parts

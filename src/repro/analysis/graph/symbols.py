@@ -1,0 +1,237 @@
+"""Per-module symbol tables and export resolution.
+
+The call graph and the dead-export rule both need to answer "what
+does this name mean in this module?" — including names that arrive
+through ``from pkg import name``, aliased module imports, and
+``from pkg import *``.  A :class:`SymbolTable` maps every module-level
+binding to its origin; star imports are resolved to the source
+module's export list by fixpoint iteration (star chains and even star
+cycles terminate because the resolved sets only ever grow).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .modules import ModuleInfo
+
+__all__ = ["Symbol", "SymbolTable", "build_symbol_tables"]
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """Origin of one module-level name.
+
+    ``kind`` is ``"module"`` (the name is a module object, ``origin``
+    its dotted name), ``"external"`` (imported from outside the
+    project), or ``"def"`` (defined here or imported from a project
+    module: ``origin`` is the defining module, ``attr`` the name
+    there).
+    """
+
+    kind: str
+    origin: str
+    attr: str = ""
+
+    @property
+    def qualified(self) -> str:
+        """``module.attr`` (or just the module name) for messages."""
+        return f"{self.origin}.{self.attr}" if self.attr else self.origin
+
+
+@dataclass
+class SymbolTable:
+    """Module-level names of one module and where they come from."""
+
+    module: str
+    names: dict[str, Symbol] = field(default_factory=dict)
+    all_names: list[tuple[str, int]] | None = None
+    """Literal ``__all__`` entries with their line numbers (None when
+    the module declares no analyzable ``__all__``)."""
+    star_sources: list[str] = field(default_factory=list)
+    """Project modules star-imported at module level."""
+
+    def exports(self) -> list[str]:
+        """Names ``from module import *`` would bind, sorted.
+
+        The declared ``__all__`` when present, else every public
+        binding — the import system's own fallback rule.
+        """
+        if self.all_names is not None:
+            return sorted({name for name, _ in self.all_names})
+        return sorted(
+            name for name in self.names if not name.startswith("_")
+        )
+
+    def resolve(self, name: str) -> Symbol | None:
+        """The origin of ``name`` in this module, if bound at top level."""
+        return self.names.get(name)
+
+
+def _resolve_relative(package: str, level: int, module: str | None) -> str:
+    """Absolute dotted target of a (possibly relative) import."""
+    if level == 0:
+        return module or ""
+    parts = package.split(".") if package else []
+    if level > 1:
+        parts = parts[: len(parts) - (level - 1)]
+    if module:
+        parts += module.split(".")
+    return ".".join(parts)
+
+
+def _project_prefix(target: str, modules: dict[str, ModuleInfo]) -> str | None:
+    """Longest prefix of ``target`` that names a project module."""
+    parts = target.split(".")
+    for end in range(len(parts), 0, -1):
+        prefix = ".".join(parts[:end])
+        if prefix in modules:
+            return prefix
+    return None
+
+
+def build_symbol_tables(
+    modules: dict[str, ModuleInfo],
+) -> dict[str, SymbolTable]:
+    """Symbol tables for every module, star imports fully resolved."""
+    tables = {
+        name: _collect_table(info, modules)
+        for name, info in sorted(modules.items())
+    }
+    _resolve_stars(tables)
+    return tables
+
+
+def _collect_table(
+    info: ModuleInfo, modules: dict[str, ModuleInfo]
+) -> SymbolTable:
+    table = SymbolTable(module=info.name)
+    for stmt in _toplevel_statements(info.tree):
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                bound = alias.asname or alias.name.partition(".")[0]
+                origin = alias.name if alias.asname else bound
+                project = _project_prefix(alias.name, modules)
+                kind = "module" if project else "external"
+                table.names[bound] = Symbol(kind=kind, origin=origin)
+        elif isinstance(stmt, ast.ImportFrom):
+            target = _resolve_relative(
+                info.package, stmt.level, stmt.module
+            )
+            project = _project_prefix(target, modules)
+            for alias in stmt.names:
+                if alias.name == "*":
+                    if project == target and project is not None:
+                        table.star_sources.append(target)
+                    continue
+                bound = alias.asname or alias.name
+                if project is None:
+                    table.names[bound] = Symbol(
+                        kind="external", origin=target, attr=alias.name
+                    )
+                elif f"{target}.{alias.name}" in modules:
+                    # `from pkg import submodule` binds a module object
+                    table.names[bound] = Symbol(
+                        kind="module", origin=f"{target}.{alias.name}"
+                    )
+                else:
+                    table.names[bound] = Symbol(
+                        kind="def", origin=target, attr=alias.name
+                    )
+        elif isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            table.names[stmt.name] = Symbol(
+                kind="def", origin=info.name, attr=stmt.name
+            )
+        elif isinstance(stmt, ast.Assign):
+            for target_node in stmt.targets:
+                for name in _bound_names(target_node):
+                    if name == "__all__":
+                        table.all_names = _string_elements(stmt.value)
+                    else:
+                        table.names[name] = Symbol(
+                            kind="def", origin=info.name, attr=name
+                        )
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            for name in _bound_names(stmt.target):
+                table.names[name] = Symbol(
+                    kind="def", origin=info.name, attr=name
+                )
+    return table
+
+
+def _resolve_stars(tables: dict[str, SymbolTable]) -> None:
+    """Fixpoint: propagate star-imported names into importing tables.
+
+    Names already bound locally win over star imports (matching
+    runtime semantics, where the star import executes first and later
+    definitions shadow it — bindings here are keyed by name, so an
+    explicit binding is never overwritten).
+    """
+    changed = True
+    while changed:
+        changed = False
+        for table in tables.values():
+            for source in table.star_sources:
+                source_table = tables.get(source)
+                if source_table is None:
+                    continue
+                for name in source_table.exports():
+                    if name in table.names:
+                        continue
+                    symbol = source_table.resolve(name)
+                    if symbol is None:
+                        # exported via __all__ but bound dynamically
+                        symbol = Symbol(
+                            kind="def", origin=source, attr=name
+                        )
+                    table.names[name] = symbol
+                    changed = True
+
+
+def _toplevel_statements(tree: ast.Module) -> list[ast.stmt]:
+    """Module-level statements, descending into ``if``/``try`` blocks
+    (the usual homes of conditional imports) but not into defs."""
+    out: list[ast.stmt] = []
+    stack: list[ast.stmt] = list(reversed(tree.body))
+    while stack:
+        stmt = stack.pop()
+        out.append(stmt)
+        if isinstance(stmt, ast.If):
+            stack.extend(reversed(stmt.body + stmt.orelse))
+        elif isinstance(stmt, ast.Try):
+            blocks = stmt.body + stmt.orelse + stmt.finalbody
+            for handler in stmt.handlers:
+                blocks += handler.body
+            stack.extend(reversed(blocks))
+    return out
+
+
+def _bound_names(target: ast.expr) -> list[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[str] = []
+        for element in target.elts:
+            out.extend(_bound_names(element))
+        return out
+    if isinstance(target, ast.Starred):
+        return _bound_names(target.value)
+    return []
+
+
+def _string_elements(node: ast.expr) -> list[tuple[str, int]] | None:
+    """Literal string list/tuple elements with lines (else ``None``)."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    out: list[tuple[str, int]] = []
+    for element in node.elts:
+        if not (
+            isinstance(element, ast.Constant)
+            and isinstance(element.value, str)
+        ):
+            return None
+        out.append((element.value, element.lineno))
+    return out

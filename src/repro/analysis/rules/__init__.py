@@ -2,7 +2,9 @@
 
 Importing this package registers every rule with
 :data:`repro.analysis.core.registry`; add new rules by dropping a
-module here and importing it below.
+module here and importing it below.  RL001–RL007 are single-module
+rules; RL008–RL012 are whole-program rules built on
+:mod:`repro.analysis.graph`.
 """
 
 from __future__ import annotations
@@ -14,13 +16,23 @@ from .rl004_experiment_meta import ExperimentMetaRule
 from .rl005_all_hygiene import AllHygieneRule
 from .rl006_equation_refs import EquationReferenceRule
 from .rl007_determinism import DeterminismRule
+from .rl008_layering import LayeringRule
+from .rl009_concurrency import ConcurrencySafetyRule
+from .rl010_aliasing import ArrayAliasingRule
+from .rl011_dead_exports import DeadExportRule
+from .rl012_resources import ResourceHygieneRule
 
 __all__ = [
     "AllHygieneRule",
+    "ArrayAliasingRule",
+    "ConcurrencySafetyRule",
+    "DeadExportRule",
     "DeterminismRule",
     "EquationReferenceRule",
     "ExperimentMetaRule",
     "FloatEqualityRule",
     "KernelPurityRule",
+    "LayeringRule",
     "ProbabilityStabilityRule",
+    "ResourceHygieneRule",
 ]

@@ -1,0 +1,165 @@
+"""RL008 — package layering.
+
+The repository's subpackages form a documented DAG (see
+``docs/ARCHITECTURE.md``): geometry and the other foundations at the
+bottom, packing/rtree above them, model/simulation/accel above those,
+experiments on top, with ``obs`` and ``analysis`` as dependency-free
+leaves.  An import that cuts against that order — ``geometry``
+reaching up into ``model``, say — couples layers that the paper's
+pipeline keeps separate and eventually produces import cycles.
+
+This rule checks every *module-level* import against the configured
+DAG (``package-dag`` in ``[tool.repro.analysis]``) and reports any
+import cycle among project modules.  Function-level (deferred)
+imports are exempt: they do not execute at import time and are the
+sanctioned escape hatch for tooling that must reach across layers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core import ModuleContext, Rule, Violation, registry
+from ..graph import ImportRecord, find_cycles
+
+__all__ = ["LayeringRule", "parse_dag"]
+
+
+def parse_dag(entries: tuple[str, ...]) -> dict[str, frozenset[str]]:
+    """Parse ``"pkg -> dep dep ..."`` config entries into an edge map.
+
+    A package listed with no right-hand side (``"obs ->"``) is a leaf:
+    it may import nothing from its sibling packages.
+    """
+    dag: dict[str, frozenset[str]] = {}
+    for entry in entries:
+        head, arrow, tail = entry.partition("->")
+        if not arrow:
+            raise ValueError(
+                f"package-dag entry missing '->': {entry!r}"
+            )
+        dag[head.strip()] = frozenset(tail.split())
+    return dag
+
+
+def _package_of(module: str, root: str) -> str | None:
+    """The immediate subpackage of ``root`` holding ``module``."""
+    prefix = f"{root}."
+    if not module.startswith(prefix):
+        return None
+    return module[len(prefix) :].partition(".")[0]
+
+
+@registry.register
+class LayeringRule(Rule):
+    """Enforce the canonical package DAG and reject import cycles."""
+
+    id = "RL008"
+    name = "layering"
+    description = (
+        "module-level imports must follow the canonical package DAG "
+        "(docs/ARCHITECTURE.md) and form no cycles"
+    )
+    requires_project = True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        project = ctx.project
+        module = ctx.module_name
+        if project is None or module is None:
+            return
+        root = ctx.config.dag_root
+        dag = parse_dag(ctx.config.package_dag)
+        yield from self._check_edges(ctx, module, root, dag)
+        yield from self._check_cycles(ctx, module)
+
+    def _check_edges(
+        self,
+        ctx: ModuleContext,
+        module: str,
+        root: str,
+        dag: dict[str, frozenset[str]],
+    ) -> Iterator[Violation]:
+        package = _package_of(module, root)
+        if package is None:
+            # the facade (`repro/__init__.py`) sits above every layer
+            # and may aggregate freely; modules outside the root are
+            # not layered at all.
+            return
+        records = [
+            r
+            for r in ctx.project.imports.imports_of(module)
+            if r.toplevel
+        ]
+        if package not in dag:
+            if records:
+                yield _record(
+                    ctx,
+                    records[0],
+                    self.id,
+                    f"package `{package}` is not in the canonical DAG "
+                    "(package-dag in pyproject.toml / "
+                    "docs/ARCHITECTURE.md)",
+                )
+            return
+        allowed = dag[package]
+        for record in records:
+            target_pkg = _package_of(record.target, root)
+            if target_pkg is None:
+                yield _record(
+                    ctx,
+                    record,
+                    self.id,
+                    f"`{package}` must not import the top-level "
+                    f"`{root}` facade at module level",
+                )
+                continue
+            if target_pkg == package or target_pkg in allowed:
+                continue
+            yield _record(
+                ctx,
+                record,
+                self.id,
+                f"layering: `{package}` may not import "
+                f"`{target_pkg}` (allowed: "
+                f"{', '.join(sorted(allowed)) or 'nothing'}); defer "
+                "the import into a function if it is tooling-only",
+            )
+
+    def _check_cycles(
+        self, ctx: ModuleContext, module: str
+    ) -> Iterator[Violation]:
+        """Report each cycle once, on its first member (sorted order)."""
+        for cycle in find_cycles(ctx.project.imports.edges()):
+            if module != cycle[0]:
+                continue
+            members = set(cycle)
+            line = 1
+            for record in ctx.project.imports.imports_of(module):
+                if record.toplevel and record.target in members:
+                    line = record.lineno
+                    break
+            yield Violation(
+                path=ctx.display_path,
+                line=line,
+                col=1,
+                rule_id=self.id,
+                message=(
+                    "import cycle: " + " -> ".join(cycle + [cycle[0]])
+                ),
+            )
+
+
+def _record(
+    ctx: ModuleContext,
+    record: ImportRecord,
+    rule_id: str,
+    message: str,
+) -> Violation:
+    """A violation anchored at an import record's line."""
+    return Violation(
+        path=ctx.display_path,
+        line=record.lineno,
+        col=1,
+        rule_id=rule_id,
+        message=message,
+    )

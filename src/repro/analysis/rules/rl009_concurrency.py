@@ -1,0 +1,333 @@
+"""RL009 — concurrency safety of executor-reachable functions.
+
+The sweep engine fans work out over ``ThreadPoolExecutor`` (and the
+roadmap adds process sharding).  Any function reachable from an
+``executor.submit``/``executor.map`` site may run on a worker thread,
+so it must not write shared mutable state — module-level bindings or
+closure-captured variables — without synchronization.
+
+Detected hazards, for every project function reachable from a submit
+site (via the approximate call graph):
+
+* assignment to a ``global``/``nonlocal``-declared name;
+* element writes into a captured or module-level container
+  (``shared[i] = x``) — *slice* writes are exempt, because handing
+  each worker a disjoint slice of a preallocated array is the
+  sanctioned sharding idiom (it is how the stack-distance sweep
+  partitions its output);
+* mutator-method calls (``.append``, ``.update``, …) on captured or
+  module-level containers.
+
+A mutation inside a ``with`` block whose context expression mentions
+a lock (any name containing ``lock`` or ``mutex``) is considered
+synchronized.  Instance-attribute writes are left to the dynamic
+sanitizer (``repro.analysis.sanitize``), which sees real objects and
+real threads.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import ModuleContext, Rule, Violation, registry
+from ..graph import CallGraph, FunctionNode
+
+__all__ = ["ConcurrencySafetyRule"]
+
+_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "add",
+        "update",
+        "pop",
+        "popitem",
+        "clear",
+        "remove",
+        "discard",
+        "insert",
+        "setdefault",
+        "sort",
+        "reverse",
+    }
+)
+_LOCK_HINTS = ("lock", "mutex")
+
+
+def _mentions_lock(expr: ast.expr) -> bool:
+    """Does the with-context expression name a lock?"""
+    for node in ast.walk(expr):
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is not None and any(
+            hint in name.lower() for hint in _LOCK_HINTS
+        ):
+            return True
+    return False
+
+
+def _module_data_names(tree: ast.Module) -> set[str]:
+    """Names bound to *data* at module level (not defs or imports)."""
+    names: set[str] = set()
+    stack: list[ast.stmt] = list(tree.body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                names.update(_name_targets(target))
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            names.update(_name_targets(stmt.target))
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            for block in _sub_blocks(stmt):
+                stack.extend(block)
+    names.discard("__all__")
+    return names
+
+
+def _sub_blocks(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    if isinstance(stmt, ast.If):
+        return [stmt.body, stmt.orelse]
+    if isinstance(stmt, ast.Try):
+        blocks = [stmt.body, stmt.orelse, stmt.finalbody]
+        blocks.extend(handler.body for handler in stmt.handlers)
+        return blocks
+    return []
+
+
+def _name_targets(target: ast.expr) -> list[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[str] = []
+        for element in target.elts:
+            out.extend(_name_targets(element))
+        return out
+    if isinstance(target, ast.Starred):
+        return _name_targets(target.value)
+    return []
+
+
+def _scope_bindings(fn: ast.AST) -> set[str]:
+    """Names bound locally in a function scope (params, assignments,
+    loop targets, …) — *excluding* nested function/class bodies."""
+    bound: set[str] = set()
+    if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        args = fn.args
+        for arg in [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ]:
+            bound.add(arg.arg)
+    for child in _own_nodes(fn):
+        if isinstance(child, ast.Assign):
+            for target in child.targets:
+                bound.update(_name_targets(target))
+        elif isinstance(child, (ast.AnnAssign, ast.AugAssign)):
+            bound.update(_name_targets(child.target))
+        elif isinstance(child, ast.NamedExpr):
+            bound.update(_name_targets(child.target))
+        elif isinstance(child, ast.For):
+            bound.update(_name_targets(child.target))
+        elif isinstance(child, (ast.With, ast.AsyncWith)):
+            for item in child.items:
+                if item.optional_vars is not None:
+                    bound.update(_name_targets(item.optional_vars))
+        elif isinstance(child, ast.comprehension):
+            bound.update(_name_targets(child.target))
+        elif isinstance(child, ast.ExceptHandler) and child.name:
+            bound.add(child.name)
+        elif isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            bound.add(child.name)
+        elif isinstance(child, ast.Import):
+            for alias in child.names:
+                bound.add(alias.asname or alias.name.partition(".")[0])
+        elif isinstance(child, ast.ImportFrom):
+            for alias in child.names:
+                if alias.name != "*":
+                    bound.add(alias.asname or alias.name)
+    return bound
+
+
+def _declared(fn: ast.AST) -> set[str]:
+    """Names declared ``global`` or ``nonlocal`` in this scope."""
+    out: set[str] = set()
+    for child in _own_nodes(fn):
+        if isinstance(child, (ast.Global, ast.Nonlocal)):
+            out.update(child.names)
+    return out
+
+
+def _own_nodes(fn: ast.AST) -> Iterator[ast.AST]:
+    """Every node of a scope, not descending into nested scopes."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@registry.register
+class ConcurrencySafetyRule(Rule):
+    """Flag unsynchronized shared-state writes in worker-reachable code."""
+
+    id = "RL009"
+    name = "concurrency-safety"
+    description = (
+        "functions reachable from executor submit sites must not "
+        "write module-level or closure-captured state without a lock"
+    )
+    requires_project = True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        project = ctx.project
+        module = ctx.module_name
+        if project is None or module is None:
+            return
+        callgraph = project.callgraph
+        roots = callgraph.submit_roots()
+        if not roots:
+            return
+        reachable = callgraph.reachable(roots)
+        module_data = _module_data_names(ctx.tree)
+        for key in sorted(reachable):
+            fn = callgraph.functions[key]
+            if fn.module != module:
+                continue
+            yield from self._check_worker(ctx, fn, callgraph, module_data)
+
+    def _check_worker(
+        self,
+        ctx: ModuleContext,
+        fn: FunctionNode,
+        callgraph: CallGraph,
+        module_data: set[str],
+    ) -> Iterator[Violation]:
+        declared = _declared(fn.node)
+        local = _scope_bindings(fn.node) - declared
+        captured = self._captured_names(fn, callgraph)
+        # containers whose element writes / mutator calls are shared:
+        shared = (module_data | captured | declared) - local
+        seen: set[tuple[int, str]] = set()
+
+        def emit(
+            node: ast.AST, name: str, how: str
+        ) -> Iterator[Violation]:
+            mark = (getattr(node, "lineno", 1), name)
+            if mark in seen:
+                return
+            seen.add(mark)
+            yield ctx.violation(node, self.id, how)
+
+        def walk(node: ast.AST, guarded: bool) -> Iterator[Violation]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (
+                        ast.FunctionDef,
+                        ast.AsyncFunctionDef,
+                        ast.Lambda,
+                        ast.ClassDef,
+                    ),
+                ):
+                    continue
+                inner = guarded
+                if isinstance(
+                    child, (ast.With, ast.AsyncWith)
+                ) and any(
+                    _mentions_lock(item.context_expr)
+                    for item in child.items
+                ):
+                    inner = True
+                if not inner:
+                    yield from self._check_node(
+                        child, fn, declared, shared, emit
+                    )
+                yield from walk(child, inner)
+
+        yield from walk(fn.node, False)
+
+    def _check_node(self, node, fn, declared, shared, emit):
+        label = f"worker-reachable `{fn.name}`"
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        else:
+            targets = []
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id in declared:
+                scope = (
+                    "global"
+                    if target.id in _globals_of(fn.node)
+                    else "nonlocal"
+                )
+                yield from emit(
+                    node,
+                    target.id,
+                    f"{label} assigns {scope} `{target.id}` without "
+                    "holding a lock",
+                )
+            elif isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Name
+            ):
+                name = target.value.id
+                if name in shared and not isinstance(
+                    target.slice, ast.Slice
+                ):
+                    yield from emit(
+                        node,
+                        name,
+                        f"{label} writes element(s) of shared "
+                        f"`{name}` without a lock (give each worker "
+                        "a disjoint slice, or lock)",
+                    )
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATORS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in shared
+        ):
+            name = node.func.value.id
+            yield from emit(
+                node,
+                name,
+                f"{label} mutates shared `{name}` via "
+                f"`.{node.func.attr}(...)` without holding a lock",
+            )
+
+    @staticmethod
+    def _captured_names(
+        fn: FunctionNode, callgraph: CallGraph
+    ) -> set[str]:
+        """Names bound in the enclosing function scopes (closures)."""
+        captured: set[str] = set()
+        parts = fn.qualname.split(".")
+        for depth in range(1, len(parts)):
+            ancestor = f"{fn.module}:{'.'.join(parts[:depth])}"
+            outer = callgraph.functions.get(ancestor)
+            if outer is not None:
+                captured |= _scope_bindings(outer.node)
+        return captured
+
+
+def _globals_of(fn: ast.AST) -> set[str]:
+    out: set[str] = set()
+    for child in _own_nodes(fn):
+        if isinstance(child, ast.Global):
+            out.update(child.names)
+    return out

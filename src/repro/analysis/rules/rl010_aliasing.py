@@ -1,0 +1,181 @@
+"""RL010 — no in-place mutation of array parameters outside kernels.
+
+The geometry and packing kernels are the sanctioned home of in-place
+array operations (RL003 polices *them*); everywhere else, a function
+that mutates an array it received — ``np.add(a, b, out=buf)``,
+``x[:] = …``, ``x += …``, ``x.sort()`` — silently aliases its
+caller's data, and the paper's figures stop being reproducible the
+day two call sites share a buffer.
+
+Outside the configured ``kernel-paths``, a parameter may therefore
+not be the target of:
+
+* a subscript store or augmented assignment (``p[i] = v``,
+  ``p[:] += v``, ``p *= 2``);
+* an in-place numpy method (``.sort()``, ``.fill()``, ``.resize()``,
+  ``.partition()``, ``.put()``);
+* an ``out=`` keyword argument.
+
+The copy-then-own idiom is honoured: once a parameter is rebound by a
+plain assignment (``p = np.asarray(p).copy()``), the function owns
+the value and later mutation is fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import ModuleContext, Rule, Violation, registry
+
+__all__ = ["ArrayAliasingRule"]
+
+_INPLACE_METHODS = frozenset(
+    {"sort", "fill", "resize", "partition", "put", "itemset"}
+)
+
+
+def _params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    args = fn.args
+    names = {
+        arg.arg
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    }
+    names.discard("self")
+    names.discard("cls")
+    return names
+
+
+def _rebound(fn: ast.AST, params: set[str]) -> set[str]:
+    """Parameters rebound by a plain assignment (copy-then-own)."""
+    owned: set[str] = set()
+    for node in _own_nodes(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id in params:
+                    owned.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if (
+                isinstance(node.target, ast.Name)
+                and node.target.id in params
+            ):
+                owned.add(node.target.id)
+    return owned
+
+
+def _own_nodes(fn: ast.AST) -> Iterator[ast.AST]:
+    """Every node of a scope, not descending into nested scopes."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@registry.register
+class ArrayAliasingRule(Rule):
+    """Flag in-place mutation of parameters outside kernel paths."""
+
+    id = "RL010"
+    name = "array-aliasing"
+    description = (
+        "outside kernel-paths, functions must not mutate array "
+        "parameters in place (out=, augmented assignment, .sort())"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if ctx.in_any(ctx.config.kernel_paths):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self,
+        ctx: ModuleContext,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Violation]:
+        params = _params(fn) - _rebound(fn, _params(fn))
+        if not params:
+            return
+        label = f"`{fn.name}`"
+        for node in _own_nodes(fn):
+            if isinstance(node, ast.AugAssign):
+                target = node.target
+                if isinstance(target, ast.Name) and target.id in params:
+                    yield ctx.violation(
+                        node,
+                        self.id,
+                        f"{label} mutates parameter `{target.id}` via "
+                        "augmented assignment; copy first "
+                        "(copy-then-own) or move this into a kernel "
+                        "path",
+                    )
+                elif (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in params
+                ):
+                    yield ctx.violation(
+                        node,
+                        self.id,
+                        f"{label} writes into parameter "
+                        f"`{target.value.id}` in place; copy first or "
+                        "move this into a kernel path",
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in params
+                    ):
+                        yield ctx.violation(
+                            node,
+                            self.id,
+                            f"{label} writes into parameter "
+                            f"`{target.value.id}` in place; copy "
+                            "first or move this into a kernel path",
+                        )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, label, params, node)
+
+    def _check_call(
+        self,
+        ctx: ModuleContext,
+        label: str,
+        params: set[str],
+        call: ast.Call,
+    ) -> Iterator[Violation]:
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _INPLACE_METHODS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in params
+        ):
+            yield ctx.violation(
+                call,
+                self.id,
+                f"{label} calls in-place `.{func.attr}()` on "
+                f"parameter `{func.value.id}`; use the returning "
+                "variant (np.sort, …) or copy first",
+            )
+        for keyword in call.keywords:
+            if (
+                keyword.arg == "out"
+                and isinstance(keyword.value, ast.Name)
+                and keyword.value.id in params
+            ):
+                yield ctx.violation(
+                    call,
+                    self.id,
+                    f"{label} writes into parameter "
+                    f"`{keyword.value.id}` via out=; allocate the "
+                    "output locally or move this into a kernel path",
+                )

@@ -1,0 +1,85 @@
+"""RL011 — dead exports.
+
+``__all__`` is the package's advertised API; a name that sits there
+but is never imported anywhere — not by another source module, not by
+tests, benchmarks, or tools — is either dead code or an API the repo
+forgot to exercise.  Both are worth a finding: dead exports accrete
+maintenance cost, and unexercised API is unverified API.
+
+Usage is computed project-wide by :mod:`repro.analysis.graph`: every
+``import``/``from … import`` in the analyzed tree *plus* the
+configured consumer-only trees (``usage-paths``: tests, benchmarks,
+tools, examples) counts, as do dotted attribute accesses on imported
+project modules (``repro.obs.Tracer``) and star imports (which use
+every export of their source).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core import ModuleContext, Rule, Violation, registry
+from ..graph import ProjectGraph
+
+__all__ = ["DeadExportRule"]
+
+
+def _module_used(project: ProjectGraph, module: str) -> bool:
+    """Is the module itself imported (as a module object) anywhere?"""
+    parent, _, stem = module.rpartition(".")
+    if project.usage.is_used(parent, stem):
+        return True
+    return any(
+        record.target == module
+        for importer, records in project.imports.records.items()
+        if importer != module
+        for record in records
+    )
+
+
+@registry.register
+class DeadExportRule(Rule):
+    """Flag ``__all__`` entries never imported outside their module."""
+
+    id = "RL011"
+    name = "dead-exports"
+    description = (
+        "__all__ names must be imported somewhere in src/, tests/, "
+        "benchmarks/, or tools/"
+    )
+    requires_project = True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        project = ctx.project
+        module = ctx.module_name
+        if project is None or module is None:
+            return
+        table = project.symbols.get(module)
+        if table is None or table.all_names is None:
+            return
+        for name, line in table.all_names:
+            if project.usage.is_used(module, name):
+                continue
+            # A facade re-export is alive when its *origin* is used:
+            # `repro/__init__.py` re-exporting BufferPool is not dead
+            # while tests import it from repro.buffer directly.
+            symbol = table.resolve(name)
+            if symbol is not None and symbol.origin != module:
+                if symbol.kind == "module" and _module_used(
+                    project, symbol.origin
+                ):
+                    continue
+                if symbol.kind == "def" and project.usage.is_used(
+                    symbol.origin, symbol.attr
+                ):
+                    continue
+            yield Violation(
+                path=ctx.display_path,
+                line=line,
+                col=1,
+                rule_id=self.id,
+                message=(
+                    f"`{name}` is exported in __all__ but never "
+                    "imported outside this module"
+                ),
+            )

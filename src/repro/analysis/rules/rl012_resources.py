@@ -1,0 +1,203 @@
+"""RL012 — resource hygiene.
+
+Executors, file handles, and memory maps hold OS resources (threads,
+descriptors, address space).  The sweep engine creates them in hot
+loops, so a leak is not cosmetic: a ``ThreadPoolExecutor`` that is
+never shut down keeps its workers alive for the life of the process,
+and an unclosed ``mmap`` pins its file.
+
+Every construction of such a resource must be one of:
+
+* context-managed (``with open(p) as f: …``);
+* bound to a name that is explicitly released in the same scope
+  (``pool.shutdown()`` / ``handle.close()`` — typically in a
+  ``finally`` block) or context-managed later;
+* stored on an attribute that some method of the module releases
+  (``self._pool = …`` with a ``self._pool.shutdown()`` elsewhere);
+* returned to the caller (ownership transfer).
+
+Anything else — a bare ``open(p).read()``, an executor bound and
+forgotten — is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import ModuleContext, Rule, Violation, registry
+
+__all__ = ["ResourceHygieneRule"]
+
+_EXECUTORS = frozenset({"ThreadPoolExecutor", "ProcessPoolExecutor"})
+_RELEASE = frozenset({"close", "shutdown"})
+
+
+def _callee_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _resource_kind(call: ast.Call) -> str | None:
+    name = _callee_name(call)
+    if name in _EXECUTORS:
+        return "executor"
+    if name == "open":
+        return "file handle"
+    if name == "mmap":
+        return "mmap"
+    return None
+
+
+def _value_calls(expr: ast.expr) -> Iterator[ast.Call]:
+    """Calls in *result position* of an assigned expression.
+
+    ``pool = ThreadPoolExecutor(...) if workers > 1 else None`` binds
+    the executor to ``pool`` just as surely as a direct assignment, so
+    conditional and boolean expressions are transparent; calls in
+    argument position are not (``x = f(open(p))`` does not bind the
+    handle to ``x``).
+    """
+    if isinstance(expr, ast.Call):
+        yield expr
+    elif isinstance(expr, ast.IfExp):
+        yield from _value_calls(expr.body)
+        yield from _value_calls(expr.orelse)
+    elif isinstance(expr, ast.BoolOp):
+        for value in expr.values:
+            yield from _value_calls(value)
+    elif isinstance(expr, ast.NamedExpr):
+        yield from _value_calls(expr.value)
+
+
+def _own_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Every node of a scope, not descending into nested scopes."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@registry.register
+class ResourceHygieneRule(Rule):
+    """Flag resources that are neither context-managed nor released."""
+
+    id = "RL012"
+    name = "resource-hygiene"
+    description = (
+        "executors, file handles, and mmaps must be context-managed, "
+        "explicitly released, or returned to the caller"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        released_attrs = self._released_attrs(ctx.tree)
+        yield from self._check_scope(ctx, ctx.tree, released_attrs)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_scope(ctx, node, released_attrs)
+
+    @staticmethod
+    def _released_attrs(tree: ast.Module) -> set[str]:
+        """Attribute names released anywhere in the module
+        (``self._pool.shutdown()`` → ``_pool``)."""
+        out: set[str] = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _RELEASE
+                and isinstance(node.func.value, ast.Attribute)
+            ):
+                out.add(node.func.value.attr)
+        return out
+
+    def _check_scope(
+        self,
+        ctx: ModuleContext,
+        scope: ast.AST,
+        released_attrs: set[str],
+    ) -> Iterator[Violation]:
+        nodes = list(_own_nodes(scope))
+
+        in_with: set[int] = set()
+        in_return: set[int] = set()
+        assigned_to: dict[int, ast.expr] = {}
+        released_names: set[str] = set()
+        transferred_names: set[str] = set()
+
+        for node in nodes:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    for sub in ast.walk(item.context_expr):
+                        in_with.add(id(sub))
+                    if isinstance(item.context_expr, ast.Name):
+                        released_names.add(item.context_expr.id)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                # only result-position calls transfer ownership:
+                # `return open(p)` does, `return open(p).read()` leaks
+                for call in _value_calls(node.value):
+                    in_return.add(id(call))
+                if isinstance(node.value, ast.Name):
+                    transferred_names.add(node.value.id)
+            elif isinstance(node, ast.Assign):
+                for call in _value_calls(node.value):
+                    for target in node.targets:
+                        assigned_to[id(call)] = target
+            elif isinstance(node, ast.NamedExpr):
+                for call in _value_calls(node.value):
+                    assigned_to[id(call)] = node.target
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _RELEASE
+                and isinstance(node.func.value, ast.Name)
+            ):
+                released_names.add(node.func.value.id)
+
+        for node in nodes:
+            if not isinstance(node, ast.Call):
+                continue
+            kind = _resource_kind(node)
+            if kind is None or id(node) in in_with or id(node) in in_return:
+                continue
+            target = assigned_to.get(id(node))
+            if isinstance(target, ast.Name):
+                if (
+                    target.id in released_names
+                    or target.id in transferred_names
+                ):
+                    continue
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    f"{kind} bound to `{target.id}` is never "
+                    "context-managed, released, or returned in this "
+                    "scope",
+                )
+            elif isinstance(target, ast.Attribute):
+                if target.attr in released_attrs:
+                    continue
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    f"{kind} stored on `{target.attr}` but no method "
+                    f"releases it (`.{target.attr}.close()` / "
+                    f"`.shutdown()` not found in this module)",
+                )
+            else:
+                yield ctx.violation(
+                    node,
+                    self.id,
+                    f"{kind} is created without a `with` block and "
+                    "never released (bare expression or argument)",
+                )

@@ -1,0 +1,256 @@
+"""Opt-in shared-state sanitizer: the dynamic half of RL009.
+
+The static rule reasons about *code*; this module watches *objects*.
+When installed (``REPRO_SANITIZE=1`` in the environment, or an
+explicit :func:`install`), the mutable runtime classes that matter —
+:class:`~repro.buffer.base.BufferPool`,
+:class:`~repro.buffer.base.BufferStats`, and
+:class:`~repro.obs.spans.Tracer` — are patched in place so that
+unsynchronized cross-thread mutation raises :class:`SanitizerError`
+at the exact write, instead of silently corrupting a counter and
+shifting a figure by a fraction nobody can bisect.
+
+Mechanics:
+
+* **Thread affinity** (pool + stats): each instance is stamped with
+  its creating thread; any attribute write (stats) or ``request()``
+  (pool) from a different thread raises.  Objects are not locked to
+  a thread forever — :func:`adopt` transfers ownership explicitly,
+  which is itself a synchronization statement in the code.
+* **Lock discipline** (tracer): spans legitimately finish on many
+  threads, so affinity is the wrong check.  Instead the tracer's
+  shared containers (``_finished``, ``_threads``) are replaced with
+  guards that assert ``self._lock`` is held during every mutation.
+* Ownership lives in a module-level table keyed by ``id(obj)``
+  (``BufferStats`` has ``__slots__`` and accepts no new attributes).
+  The patched ``__init__`` re-stamps on construction, so id reuse
+  after garbage collection cannot mis-attribute an object.
+
+The patches are applied to the classes *in place* (method assignment,
+not subclassing), so instances created before :func:`install` — and
+references imported anywhere — are covered.  :func:`uninstall`
+restores the originals; both are idempotent.
+
+All runtime imports are deferred into the install path: ``analysis``
+is a leaf package in the canonical DAG (RL008) and must not import
+``buffer``/``obs`` at module level.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Callable
+
+__all__ = [
+    "ENV_FLAG",
+    "SanitizerError",
+    "adopt",
+    "enabled_by_env",
+    "install",
+    "is_installed",
+    "uninstall",
+]
+
+ENV_FLAG = "REPRO_SANITIZE"
+
+_owner_lock = threading.Lock()
+_owners: dict[int, int] = {}
+_saved: list[tuple[type, str, Any]] = []
+_installed = False
+
+
+class SanitizerError(RuntimeError):
+    """An unsynchronized cross-thread mutation was detected."""
+
+
+def enabled_by_env() -> bool:
+    """Is the sanitizer requested via ``REPRO_SANITIZE``?"""
+    return os.environ.get(ENV_FLAG, "").strip() in ("1", "true", "on")
+
+
+def is_installed() -> bool:
+    """Is the sanitizer currently active?"""
+    return _installed
+
+
+def adopt(obj: object) -> None:
+    """Transfer ownership of ``obj`` to the calling thread.
+
+    The explicit hand-off for legitimate single-owner migrations
+    (build on the main thread, then give the object to a worker).
+    """
+    with _owner_lock:
+        _owners[id(obj)] = threading.get_ident()
+
+
+def _stamp(obj: object) -> None:
+    with _owner_lock:
+        _owners[id(obj)] = threading.get_ident()
+
+
+def _check_owner(obj: object, action: str) -> None:
+    me = threading.get_ident()
+    with _owner_lock:
+        owner = _owners.setdefault(id(obj), me)
+    if owner != me:
+        raise SanitizerError(
+            f"unsynchronized cross-thread {action}: "
+            f"{type(obj).__name__} owned by thread {owner} "
+            f"mutated from thread {me}; guard it with a lock or "
+            "adopt() it explicitly"
+        )
+
+
+class _GuardedList(list):
+    """A list that insists its lock is held during every mutation."""
+
+    __slots__ = ("_guard_lock", "_owner_name")
+
+    def __init__(self, lock: threading.Lock, owner_name: str) -> None:
+        super().__init__()
+        self._guard_lock = lock
+        self._owner_name = owner_name
+
+    def _assert_held(self, action: str) -> None:
+        if not self._guard_lock.locked():
+            raise SanitizerError(
+                f"{self._owner_name} mutated via {action} without "
+                "holding its lock"
+            )
+
+    def append(self, item: Any) -> None:
+        self._assert_held("append")
+        super().append(item)
+
+    def extend(self, items: Any) -> None:
+        self._assert_held("extend")
+        super().extend(items)
+
+    def clear(self) -> None:
+        self._assert_held("clear")
+        super().clear()
+
+
+class _GuardedDict(dict):
+    """A dict that insists its lock is held during every mutation."""
+
+    __slots__ = ("_guard_lock", "_owner_name")
+
+    def __init__(self, lock: threading.Lock, owner_name: str) -> None:
+        super().__init__()
+        self._guard_lock = lock
+        self._owner_name = owner_name
+
+    def _assert_held(self, action: str) -> None:
+        if not self._guard_lock.locked():
+            raise SanitizerError(
+                f"{self._owner_name} mutated via {action} without "
+                "holding its lock"
+            )
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._assert_held("__setitem__")
+        super().__setitem__(key, value)
+
+    def setdefault(self, key: Any, default: Any = None) -> Any:
+        self._assert_held("setdefault")
+        return super().setdefault(key, default)
+
+    def clear(self) -> None:
+        self._assert_held("clear")
+        super().clear()
+
+
+def _save(cls: type, attr: str) -> None:
+    _saved.append((cls, attr, cls.__dict__.get(attr)))
+
+
+def _wrap_init(cls: type) -> None:
+    """Stamp ownership at construction, before any attribute lands."""
+    original: Callable = cls.__init__
+    _save(cls, "__init__")
+
+    def __init__(self: object, *args: Any, **kwargs: Any) -> None:
+        _stamp(self)
+        original(self, *args, **kwargs)
+
+    __init__.__wrapped__ = original  # type: ignore[attr-defined]
+    cls.__init__ = __init__  # type: ignore[misc]
+
+
+def _patch_stats(cls: type) -> None:
+    """Every attribute write on a stats object checks thread affinity."""
+    _wrap_init(cls)
+    _save(cls, "__setattr__")
+
+    def __setattr__(self: object, name: str, value: Any) -> None:
+        _check_owner(self, f"write of .{name}")
+        object.__setattr__(self, name, value)
+
+    cls.__setattr__ = __setattr__  # type: ignore[assignment]
+
+
+def _patch_pool(cls: type) -> None:
+    """``request()`` — the pool's mutating entry point — checks
+    affinity once per call (policy structures mutate inside it)."""
+    _wrap_init(cls)
+    original: Callable = cls.request
+    _save(cls, "request")
+
+    def request(self: object, page: Any) -> bool:
+        _check_owner(self, "request()")
+        return original(self, page)
+
+    request.__wrapped__ = original  # type: ignore[attr-defined]
+    cls.request = request  # type: ignore[assignment]
+
+
+def _patch_tracer(cls: type) -> None:
+    """Replace the tracer's shared containers with lock-asserting ones."""
+    original: Callable = cls.__init__
+    _save(cls, "__init__")
+
+    def __init__(self: Any, *args: Any, **kwargs: Any) -> None:
+        original(self, *args, **kwargs)
+        finished = _GuardedList(self._lock, "Tracer._finished")
+        list.extend(finished, self._finished)
+        self._finished = finished
+        threads = _GuardedDict(self._lock, "Tracer._threads")
+        dict.update(threads, self._threads)
+        self._threads = threads
+
+    __init__.__wrapped__ = original  # type: ignore[attr-defined]
+    cls.__init__ = __init__  # type: ignore[misc]
+
+
+def install() -> None:
+    """Patch the runtime classes in place (idempotent)."""
+    global _installed
+    if _installed:
+        return
+    from repro.buffer.base import BufferPool, BufferStats
+    from repro.obs.spans import Tracer
+
+    _patch_stats(BufferStats)
+    _patch_pool(BufferPool)
+    _patch_tracer(Tracer)
+    _installed = True
+
+
+def uninstall() -> None:
+    """Restore every patched attribute (idempotent)."""
+    global _installed
+    if not _installed:
+        return
+    for cls, attr, value in reversed(_saved):
+        if value is None:
+            # the attribute was inherited, not defined on the class
+            if attr in cls.__dict__:
+                delattr(cls, attr)
+        else:
+            setattr(cls, attr, value)
+    _saved.clear()
+    with _owner_lock:
+        _owners.clear()
+    _installed = False

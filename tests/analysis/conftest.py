@@ -7,6 +7,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import Config, check_module
+from repro.analysis.graph import build_project
 
 FIXTURES = Path(__file__).parent / "fixtures"
 REPO_ROOT = Path(__file__).parents[2]
@@ -28,6 +29,43 @@ def run_rule(rule_id: str, fixture: str, **overrides):
     """Run exactly one rule over one fixture file."""
     config = fixture_config(**overrides).override(select=(rule_id,))
     return check_module(FIXTURES / fixture, config, root=REPO_ROOT)
+
+
+def fixture_files(*parts: str) -> list[Path]:
+    """Fixture paths expanded to their ``.py`` files (dirs recursed)."""
+    files: list[Path] = []
+    for part in parts:
+        path = FIXTURES / part
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def build_fixture_project(*parts: str, usage: tuple[str, ...] = ()):
+    """A ProjectGraph over fixture packages/files; returns (files, project)."""
+    files = fixture_files(*parts)
+    return files, build_project(
+        files, usage_files=fixture_files(*usage), root=REPO_ROOT
+    )
+
+
+def run_project_rule(
+    rule_id: str,
+    *parts: str,
+    usage: tuple[str, ...] = (),
+    **overrides,
+):
+    """Run one whole-program rule over fixture mini-packages."""
+    config = fixture_config(**overrides).override(select=(rule_id,))
+    files, project = build_fixture_project(*parts, usage=usage)
+    violations = []
+    for path in files:
+        violations.extend(
+            check_module(path, config, root=REPO_ROOT, project=project)
+        )
+    return sorted(violations)
 
 
 @pytest.fixture()

@@ -1,0 +1,7 @@
+"""First half of a deliberate import cycle."""
+
+from proj_cycle import beta
+
+
+def ping():
+    return beta.pong()

@@ -1,0 +1,7 @@
+"""Second half of a deliberate import cycle."""
+
+from proj_cycle import alpha
+
+
+def pong():
+    return alpha.ping()

@@ -1,0 +1,7 @@
+"""In-project consumer of one of lib's exports."""
+
+from proj_dead.lib import used_fn
+
+
+def main():
+    return used_fn()

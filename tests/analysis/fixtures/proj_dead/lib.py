@@ -1,0 +1,11 @@
+"""One live export, one dead one."""
+
+__all__ = ["dead_fn", "used_fn"]
+
+
+def used_fn():
+    return 1
+
+
+def dead_fn():
+    return 2

@@ -1,0 +1,7 @@
+"""A consumer-tree file (tests/benchmarks style) using the dead export."""
+
+from proj_dead.lib import dead_fn
+
+
+def exercise():
+    return dead_fn()

@@ -1,0 +1,7 @@
+"""Bottom layer reaching up into the engine — a layering violation."""
+
+from proj_layer_bad.engine import stuff
+
+
+def cheat():
+    return stuff.VALUE

@@ -1,0 +1,3 @@
+"""Middle-layer module."""
+
+VALUE = 42

@@ -1,0 +1,8 @@
+"""Top layer: may import engine and core."""
+
+from proj_layer_ok.core import ops
+from proj_layer_ok.engine import turbine
+
+
+def serve():
+    return ops.combine(turbine.spin(), 1)

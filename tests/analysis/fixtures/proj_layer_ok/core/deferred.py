@@ -1,0 +1,8 @@
+"""Uses the deferred-import escape hatch to reach up a layer."""
+
+
+def peek_engine():
+    # function-level import: legal even against the DAG direction
+    from proj_layer_ok.engine import turbine
+
+    return turbine.spin()

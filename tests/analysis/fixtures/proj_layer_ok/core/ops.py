@@ -1,0 +1,7 @@
+"""Bottom-layer module with no project dependencies."""
+
+BASE = 1
+
+
+def combine(a, b):
+    return a + b + BASE

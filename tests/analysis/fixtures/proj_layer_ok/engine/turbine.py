@@ -1,0 +1,7 @@
+"""Middle layer: may import core."""
+
+from proj_layer_ok.core import ops
+
+
+def spin():
+    return ops.combine(1, 2)

@@ -1,0 +1,23 @@
+"""Fans work out to threads — reachability crosses the module edge."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from proj_reach.state import bump, record
+
+
+def fan_out(items):
+    with ThreadPoolExecutor() as pool:
+        for item in items:
+            pool.submit(record, item)
+        pool.submit(bump)
+
+
+def closure_capture(items):
+    counts = {}
+
+    def work(item):
+        counts[item] = item * 2
+
+    with ThreadPoolExecutor() as pool:
+        pool.map(work, items)
+    return counts

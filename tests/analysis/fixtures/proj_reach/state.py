@@ -1,0 +1,16 @@
+"""Shared mutable state written by worker-reachable functions."""
+
+RESULTS = []
+TOTALS = {}
+COUNTER = 0
+
+
+def record(value):
+    RESULTS.append(value)
+    TOTALS[value] = True
+    return value
+
+
+def bump():
+    global COUNTER
+    COUNTER += 1

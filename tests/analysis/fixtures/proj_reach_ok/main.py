@@ -1,0 +1,13 @@
+"""Submit sites whose workers are all concurrency-clean."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from proj_reach_ok.state import fill, pure, record
+
+
+def fan_out(items, out):
+    with ThreadPoolExecutor() as pool:
+        for index, item in enumerate(items):
+            pool.submit(record, item)
+            pool.submit(fill, out, index, index + 1)
+        pool.map(pure, items)

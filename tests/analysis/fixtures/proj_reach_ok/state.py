@@ -1,0 +1,23 @@
+"""Worker-reachable functions that synchronize correctly."""
+
+import threading
+
+LOCK = threading.Lock()
+RESULTS = []
+
+
+def record(value):
+    with LOCK:
+        RESULTS.append(value)
+    return value
+
+
+def fill(out, lo, hi):
+    # disjoint slice write: the sanctioned sharding idiom
+    out[lo:hi] = range(lo, hi)
+
+
+def pure(value):
+    local = []
+    local.append(value)
+    return local

@@ -1,0 +1,9 @@
+"""Definitions re-exported through a star import."""
+
+__all__ = ["helper", "shared_value"]
+
+shared_value = 7
+
+
+def helper():
+    return shared_value

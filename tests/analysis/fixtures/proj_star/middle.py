@@ -1,0 +1,7 @@
+"""Star-imports base; callers here resolve through the fixpoint."""
+
+from proj_star.base import *  # noqa: F403
+
+
+def run_all():
+    return helper()  # noqa: F405

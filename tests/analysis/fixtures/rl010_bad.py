@@ -1,0 +1,23 @@
+"""RL010 triggers: in-place mutation of array parameters."""
+
+import numpy as np
+
+
+def normalize_into(values, out):
+    np.divide(values, values.sum(), out=out)
+    return out
+
+
+def shift(values):
+    values += 1.0
+    return values
+
+
+def zero_first(values):
+    values[0] = 0.0
+    return values
+
+
+def order(values):
+    values.sort()
+    return values

@@ -1,0 +1,19 @@
+"""RL010 clean: copy-then-own, local outputs, returning variants."""
+
+import numpy as np
+
+
+def normalize(values):
+    values = np.asarray(values, dtype=float).copy()
+    values /= values.sum()
+    return values
+
+
+def scaled(values, factor):
+    out = np.empty_like(values)
+    np.multiply(values, factor, out=out)
+    return out
+
+
+def ordered(values):
+    return np.sort(values)

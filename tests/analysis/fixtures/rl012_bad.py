@@ -1,0 +1,23 @@
+"""RL012 triggers: leaked executors, file handles, and mmaps."""
+
+import mmap
+from concurrent.futures import ThreadPoolExecutor
+
+
+def leaky_pool(items):
+    pool = ThreadPoolExecutor(max_workers=2)
+    return list(pool.map(str, items))
+
+
+def leaky_read(path):
+    return open(path).read()
+
+
+def leaky_map(fd):
+    view = mmap.mmap(fd, 0)
+    return view[0]
+
+
+class Holder:
+    def __init__(self):
+        self.pool = ThreadPoolExecutor(max_workers=1)

@@ -1,0 +1,36 @@
+"""RL012 clean: context-managed, explicitly released, or transferred."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def pooled(items):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(str, items))
+
+
+def conditional(items, parallel):
+    pool = ThreadPoolExecutor(max_workers=2) if parallel else None
+    try:
+        if pool is None:
+            return [str(item) for item in items]
+        return list(pool.map(str, items))
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+
+def read(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def make_pool():
+    return ThreadPoolExecutor(max_workers=1)
+
+
+class Holder:
+    def __init__(self):
+        self.pool = ThreadPoolExecutor(max_workers=1)
+
+    def close(self):
+        self.pool.shutdown()

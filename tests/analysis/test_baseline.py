@@ -1,0 +1,88 @@
+"""Baseline files: write/load/apply roundtrip and CI-gating semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    SCHEMA,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.core import Violation
+
+
+def finding(path="src/a.py", line=10, rule="RL009", message="racy write"):
+    return Violation(path=path, line=line, col=1, rule_id=rule, message=message)
+
+
+class TestRoundtrip:
+    def test_write_then_load_preserves_multiplicity(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        entries = write_baseline(
+            path, [finding(), finding(), finding(rule="RL011")]
+        )
+        assert entries == 2  # two distinct keys, one with count 2
+        baseline = load_baseline(path)
+        assert baseline[("src/a.py", "RL009", "racy write")] == 2
+        assert baseline[("src/a.py", "RL011", "racy write")] == 1
+
+    def test_file_is_sorted_and_schema_tagged(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [finding(rule="RL012"), finding(rule="RL008")])
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["schema"] == SCHEMA
+        rules = [entry["rule"] for entry in data["entries"]]
+        assert rules == sorted(rules)
+
+    def test_unrecognized_schema_is_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"schema": "somebody-else/9", "entries": []}),
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(path)
+
+
+class TestApply:
+    def test_matched_findings_are_absorbed(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [finding()])
+        new, matched = apply_baseline([finding()], load_baseline(path))
+        assert new == [] and matched == 1
+
+    def test_line_moves_do_not_invalidate_the_baseline(self, tmp_path):
+        # Lines are excluded from the key on purpose: unrelated edits
+        # reflow accepted findings without creating churn.
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [finding(line=10)])
+        new, matched = apply_baseline(
+            [finding(line=99)], load_baseline(path)
+        )
+        assert new == [] and matched == 1
+
+    def test_excess_repeats_count_as_new(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [finding()])
+        new, matched = apply_baseline(
+            [finding(), finding()], load_baseline(path)
+        )
+        assert matched == 1
+        assert len(new) == 1
+
+    def test_novel_finding_is_new(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [finding()])
+        novel = finding(message="a different defect")
+        new, matched = apply_baseline([novel], load_baseline(path))
+        assert new == [novel] and matched == 0
+
+    def test_empty_baseline_passes_everything_through(self):
+        from collections import Counter
+
+        new, matched = apply_baseline([finding()], Counter())
+        assert len(new) == 1 and matched == 0

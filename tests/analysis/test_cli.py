@@ -10,7 +10,8 @@ import sys
 
 import pytest
 
-from repro.analysis.cli import main
+from repro.analysis.cli import expand_select, format_github, main
+from repro.analysis.core import Violation
 
 REPORT_LINE = re.compile(r"^.+\.py:\d+:\d+ RL\d{3} .+$")
 
@@ -22,6 +23,51 @@ def write_violating_module(directory):
         encoding="utf-8",
     )
     return path
+
+
+class TestExpandSelect:
+    def test_range_expands_to_registered_rules(self):
+        expanded = expand_select(("RL001-RL003",))
+        assert expanded == ("RL001", "RL002", "RL003")
+
+    def test_full_range_reaches_rl012(self):
+        expanded = expand_select(("RL001-RL012",))
+        assert len(expanded) == 12
+        assert expanded[-1] == "RL012"
+
+    def test_short_upper_bound_form(self):
+        assert expand_select(("RL010-12",)) == ("RL010", "RL011", "RL012")
+
+    def test_plain_tokens_pass_through(self):
+        assert expand_select(("RL005", "RL009")) == ("RL005", "RL009")
+
+    def test_range_skips_unregistered_ids(self):
+        # RL012 is the last registered rule; a range past it must not
+        # invent ids the registry cannot honour.
+        expanded = expand_select(("RL011-RL099",))
+        assert expanded == ("RL011", "RL012")
+
+
+class TestGithubFormat:
+    def test_annotation_shape(self):
+        violation = Violation(
+            path="src/x.py", line=3, col=7, rule_id="RL009", message="boom"
+        )
+        assert format_github(violation) == (
+            "::error file=src/x.py,line=3,col=7,title=RL009::boom"
+        )
+
+    def test_message_newlines_and_percents_escaped(self):
+        violation = Violation(
+            path="src/x.py",
+            line=1,
+            col=1,
+            rule_id="RL001",
+            message="50% worse\nthan before",
+        )
+        rendered = format_github(violation)
+        assert "\n" not in rendered
+        assert "%0A" in rendered and "%25" in rendered
 
 
 class TestMain:
@@ -62,6 +108,52 @@ class TestMain:
         for rule_id in ("RL001", "RL004", "RL007"):
             assert rule_id in out
 
+    def test_github_format_output(self, tmp_path, capsys):
+        path = write_violating_module(tmp_path)
+        assert main([str(path), "--format", "github"]) == 1
+        out = capsys.readouterr().out.strip()
+        assert out.startswith("::error file=")
+        assert "title=RL006" in out
+
+    def test_write_then_apply_baseline(self, tmp_path, capsys):
+        path = write_violating_module(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        # accept the current findings...
+        assert main(
+            [str(path), "--write-baseline", str(baseline)]
+        ) == 0
+        capsys.readouterr()
+        # ...and the same tree now gates clean against them
+        assert main([str(path), "--baseline", str(baseline)]) == 0
+        captured = capsys.readouterr()
+        assert "baselined" in captured.err
+
+    def test_new_finding_escapes_the_baseline(self, tmp_path, capsys):
+        path = write_violating_module(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            [str(path), "--write-baseline", str(baseline)]
+        ) == 0
+        capsys.readouterr()
+        extra = tmp_path / "extra.py"
+        extra.write_text(
+            '"""Module citing Eq. 88, also undefined."""\n',
+            encoding="utf-8",
+        )
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "Eq. 88" in out
+        assert "Eq. 77" not in out
+
+    def test_missing_baseline_is_usage_error(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [str(clean), "--baseline", str(tmp_path / "nope.json")]
+            )
+        assert exc.value.code == 2
+
     def test_missing_path_is_usage_error(self, tmp_path):
         with pytest.raises(SystemExit) as exc:
             main([str(tmp_path / "does-not-exist")])
@@ -91,8 +183,21 @@ class TestModuleInvocation:
             timeout=120,
         )
 
-    def test_src_tree_is_clean(self, repo_root):
-        result = self._run(repo_root, "src")
+    def test_src_tree_is_clean_modulo_baseline(self, repo_root):
+        result = self._run(
+            repo_root, "src", "--baseline", "analysis-baseline.json"
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_full_rule_range_select(self, repo_root):
+        result = self._run(
+            repo_root,
+            "src",
+            "--select",
+            "RL001-RL012",
+            "--baseline",
+            "analysis-baseline.json",
+        )
         assert result.returncode == 0, result.stdout + result.stderr
 
     def test_seeded_violation_fails_with_report(self, repo_root, tmp_path):

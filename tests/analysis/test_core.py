@@ -73,9 +73,9 @@ class TestPragmas:
 
 
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
+    def test_all_twelve_rules_registered(self):
         ids = [rule.id for rule in registry.all_rules()]
-        assert ids == [f"RL00{i}" for i in range(1, 8)]
+        assert ids == [f"RL{i:03d}" for i in range(1, 13)]
 
     def test_duplicate_registration_rejected(self):
         fresh = RuleRegistry()

@@ -1,0 +1,200 @@
+"""The shared-state sanitizer: seeded races must be caught, real
+concurrent workloads must stay legal, uninstall must restore.
+
+The seeded-race test is the regression the sanitizer exists for: a
+cross-thread ``stats.hits += 1`` that is *silent* without the
+sanitizer and raises :class:`SanitizerError` with it.
+
+The whole suite also runs under ``REPRO_SANITIZE=1`` in CI, where the
+sanitizer is installed before collection; tests that need the plain
+(unpatched) world skip there, and tests that uninstall put the
+environment-requested patches back before returning.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis import sanitize
+from repro.analysis.sanitize import SanitizerError, adopt, enabled_by_env
+from repro.buffer.base import BufferStats
+from repro.buffer.lru import LRUBuffer
+from repro.obs.spans import Tracer
+
+_ENV_INSTALLED = sanitize.is_installed()
+needs_plain_world = pytest.mark.skipif(
+    _ENV_INSTALLED,
+    reason="sanitizer pre-installed via REPRO_SANITIZE",
+)
+
+
+@pytest.fixture()
+def sanitizer():
+    """Install the sanitizer for one test, restoring afterwards.
+
+    Teardown must run even when the test body raises -- a leaked
+    patch would silently alter every later test in the session.
+    """
+    already = sanitize.is_installed()
+    sanitize.install()
+    try:
+        yield sanitize
+    finally:
+        if not already:
+            sanitize.uninstall()
+
+
+def _mutate_in_thread(fn):
+    """Run ``fn`` in a fresh thread; return the exception it raised."""
+    caught: list[BaseException] = []
+
+    def runner():
+        try:
+            fn()
+        except BaseException as exc:  # noqa: BLE001 - relayed to the test
+            caught.append(exc)
+
+    thread = threading.Thread(target=runner)
+    thread.start()
+    thread.join()
+    return caught[0] if caught else None
+
+
+class TestSeededRace:
+    @needs_plain_world
+    def test_cross_thread_write_is_silent_without_sanitizer(self):
+        assert not sanitize.is_installed()
+        stats = BufferStats()
+
+        def race():
+            stats.hits += 1
+
+        assert _mutate_in_thread(race) is None
+        assert stats.hits == 1
+
+    def test_cross_thread_write_raises_with_sanitizer(self, sanitizer):
+        stats = BufferStats()
+
+        def race():
+            stats.hits += 1
+
+        error = _mutate_in_thread(race)
+        assert isinstance(error, SanitizerError)
+        assert "hits" in str(error)
+        assert stats.hits == 0
+
+    def test_same_thread_writes_stay_legal(self, sanitizer):
+        stats = BufferStats()
+        stats.hits += 1
+        assert stats.hits == 1
+
+    def test_pool_request_checks_affinity(self, sanitizer):
+        pool = LRUBuffer(capacity=4)
+        pool.request(1)  # owning thread: fine
+        error = _mutate_in_thread(lambda: pool.request(2))
+        assert isinstance(error, SanitizerError)
+        assert "request" in str(error)
+
+    def test_error_names_both_threads(self, sanitizer):
+        stats = BufferStats()
+        owner = threading.get_ident()
+        error = _mutate_in_thread(lambda: stats.__setattr__("hits", 9))
+        assert str(owner) in str(error)
+
+
+class TestAdopt:
+    def test_adopt_transfers_ownership(self, sanitizer):
+        stats = BufferStats()
+
+        def handoff():
+            adopt(stats)
+            stats.hits += 1
+
+        assert _mutate_in_thread(handoff) is None
+        assert stats.hits == 1
+
+    def test_original_owner_loses_access_after_adopt(self, sanitizer):
+        stats = BufferStats()
+        assert _mutate_in_thread(lambda: adopt(stats)) is None
+        with pytest.raises(SanitizerError):
+            stats.hits += 1
+
+
+class TestTracerDiscipline:
+    def test_multithreaded_tracing_stays_legal(self, sanitizer):
+        # Spans genuinely finish on many threads; the tracer locks
+        # internally, so this must NOT trip the sanitizer.
+        tracer = Tracer()
+        errors = []
+
+        def work():
+            try:
+                with tracer.span("w"):
+                    pass
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(tracer.finished()) == 4
+
+    def test_unguarded_container_mutation_raises(self, sanitizer):
+        tracer = Tracer()
+        with pytest.raises(SanitizerError, match="_finished"):
+            tracer._finished.append(object())
+
+    def test_guarded_mutation_is_allowed(self, sanitizer):
+        tracer = Tracer()
+        with tracer._lock:
+            tracer._finished.append(object())
+        assert len(tracer._finished) == 1
+
+
+class TestInstallLifecycle:
+    def test_install_is_idempotent(self, sanitizer):
+        sanitize.install()  # second call must not double-wrap
+        stats = BufferStats()
+        stats.hits = 3
+        assert stats.hits == 3
+
+    @needs_plain_world
+    def test_uninstall_restores_plain_behavior(self):
+        sanitize.install()
+        sanitize.uninstall()
+        stats = BufferStats()
+        assert _mutate_in_thread(lambda: setattr(stats, "hits", 5)) is None
+        assert stats.hits == 5
+
+    @needs_plain_world
+    def test_uninstall_without_install_is_a_noop(self):
+        assert not sanitize.is_installed()
+        sanitize.uninstall()
+        assert not sanitize.is_installed()
+
+    def test_enabled_by_env(self, monkeypatch):
+        monkeypatch.delenv(sanitize.ENV_FLAG, raising=False)
+        assert not enabled_by_env()
+        for value in ("1", "true", "on"):
+            monkeypatch.setenv(sanitize.ENV_FLAG, value)
+            assert enabled_by_env()
+        monkeypatch.setenv(sanitize.ENV_FLAG, "0")
+        assert not enabled_by_env()
+
+    def test_existing_instances_are_covered(self):
+        # Patching happens on the class, so objects created *before*
+        # install are checked too (they self-adopt on first touch).
+        stats = BufferStats()
+        sanitize.install()
+        try:
+            stats.hits += 1  # first touch adopts to this thread
+            error = _mutate_in_thread(lambda: setattr(stats, "hits", 0))
+            assert isinstance(error, SanitizerError)
+        finally:
+            if not _ENV_INSTALLED:
+                sanitize.uninstall()

@@ -1,0 +1,141 @@
+"""RL008-RL012: the whole-program rules, over fixture mini-packages."""
+
+from __future__ import annotations
+
+from .conftest import run_project_rule, run_rule
+
+from repro.analysis.rules.rl008_layering import parse_dag
+
+
+class TestParseDag:
+    def test_entries_parse_to_edge_sets(self):
+        dag = parse_dag(("core ->", "api -> core engine"))
+        assert dag["core"] == frozenset()
+        assert dag["api"] == frozenset({"core", "engine"})
+
+
+class TestRL008Layering:
+    DAG = (
+        "core ->",
+        "engine -> core",
+        "api -> core engine",
+    )
+
+    def test_upward_import_flagged(self):
+        violations = run_project_rule(
+            "RL008",
+            "proj_layer_bad",
+            dag_root="proj_layer_bad",
+            package_dag=("core ->", "engine -> core"),
+        )
+        assert len(violations) == 1
+        assert "core" in violations[0].message
+        assert "engine" in violations[0].message
+
+    def test_conforming_tree_is_clean(self):
+        violations = run_project_rule(
+            "RL008",
+            "proj_layer_ok",
+            dag_root="proj_layer_ok",
+            package_dag=self.DAG,
+        )
+        assert violations == []
+
+    def test_deferred_import_is_exempt(self):
+        # proj_layer_ok/core/deferred.py imports engine *inside* a
+        # function -- the sanctioned escape hatch -- and must stay
+        # clean even though core -> engine is not a DAG edge.
+        violations = run_project_rule(
+            "RL008",
+            "proj_layer_ok",
+            dag_root="proj_layer_ok",
+            package_dag=("core ->", "engine -> core", "api -> core engine"),
+        )
+        assert violations == []
+
+    def test_import_cycle_reported_once(self):
+        violations = run_project_rule(
+            "RL008",
+            "proj_cycle",
+            dag_root="proj_cycle",
+            package_dag=(),
+        )
+        cycle_hits = [v for v in violations if "cycle" in v.message]
+        assert len(cycle_hits) == 1
+        assert "proj_cycle.alpha" in cycle_hits[0].message
+        assert "proj_cycle.beta" in cycle_hits[0].message
+
+
+class TestRL009Concurrency:
+    def test_racy_workers_flagged(self):
+        violations = run_project_rule("RL009", "proj_reach")
+        messages = "\n".join(v.message for v in violations)
+        assert "`RESULTS`" in messages  # list .append in a worker
+        assert "`TOTALS`" in messages  # dict subscript store
+        assert "`COUNTER`" in messages  # global augmented assign
+        assert "`counts`" in messages  # closure-captured dict
+
+    def test_violations_name_the_worker(self):
+        violations = run_project_rule("RL009", "proj_reach")
+        workers = {v.message.split("`")[1] for v in violations}
+        assert "record" in workers
+        assert "bump" in workers
+
+    def test_locked_and_disjoint_writes_are_clean(self):
+        violations = run_project_rule("RL009", "proj_reach_ok")
+        assert violations == []
+
+
+class TestRL010Aliasing:
+    def test_inplace_param_mutations_flagged(self):
+        violations = run_rule("RL010", "rl010_bad.py", kernel_paths=())
+        assert len(violations) == 4
+        messages = "\n".join(v.message for v in violations)
+        assert "out=" in messages
+        assert ".sort(" in messages
+
+    def test_copy_then_own_is_clean(self):
+        violations = run_rule("RL010", "rl010_good.py", kernel_paths=())
+        assert violations == []
+
+    def test_kernel_paths_are_exempt(self):
+        # fixture_config defaults kernel_paths to the fixture dir, so
+        # without the override the bad file is sanctioned kernel code.
+        violations = run_rule("RL010", "rl010_bad.py")
+        assert violations == []
+
+
+class TestRL011DeadExports:
+    def test_unimported_export_flagged(self):
+        violations = run_project_rule("RL011", "proj_dead")
+        assert len(violations) == 1
+        assert "dead_fn" in violations[0].message
+        assert "used_fn" not in violations[0].message
+
+    def test_anchored_at_the_entry_line(self):
+        (violation,) = run_project_rule("RL011", "proj_dead")
+        assert violation.line > 0
+
+    def test_usage_tree_keeps_exports_alive(self):
+        violations = run_project_rule(
+            "RL011", "proj_dead", usage=("proj_dead_usage",)
+        )
+        assert violations == []
+
+    def test_star_import_keeps_exports_alive(self):
+        violations = run_project_rule("RL011", "proj_star")
+        assert violations == []
+
+
+class TestRL012Resources:
+    def test_leaks_flagged(self):
+        violations = run_rule("RL012", "rl012_bad.py")
+        assert len(violations) == 4
+        messages = "\n".join(v.message for v in violations)
+        assert "executor" in messages
+        assert "file handle" in messages
+        assert "mmap" in messages
+
+    def test_managed_and_transferred_are_clean(self):
+        violations = run_rule("RL012", "rl012_good.py")
+        assert violations == []

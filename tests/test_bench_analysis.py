@@ -1,0 +1,99 @@
+"""The analysis latency guard: report shape, gate exit codes, ledger.
+
+Thin wrapper over ``tools/bench_analysis.py`` (same pattern as
+``tests/test_bench_history.py``).  The measurement itself — a full
+whole-program scan of ``src`` — runs once per test session and is the
+tier-1 enforcement of the analyzer's 10-second wall budget.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.history import load_history, validate_bench_report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_analysis", REPO_ROOT / "tools" / "bench_analysis.py"
+)
+bench_analysis = importlib.util.module_from_spec(_SPEC)
+sys.modules.setdefault("bench_analysis", bench_analysis)
+_SPEC.loader.exec_module(bench_analysis)
+
+
+@pytest.fixture(scope="module")
+def measurement():
+    return bench_analysis.measure(repeat=1)
+
+
+class TestMeasurement:
+    def test_scan_covers_the_tree(self, measurement):
+        assert measurement["n_files"] >= 55
+
+    def test_under_the_wall_budget(self, measurement):
+        assert (
+            measurement["seconds"]
+            < bench_analysis.DEFAULT_BUDGET_SECONDS
+        )
+
+
+class TestReport:
+    def test_report_is_ledger_valid(self, measurement):
+        report = bench_analysis.build_report(measurement, budget=10.0)
+        assert validate_bench_report(report) == []
+        (record,) = report["records"]
+        assert record["kernel"] == bench_analysis.KERNEL
+        assert record["unit"] == "files/s"
+
+    def test_headroom_is_budget_over_seconds(self, measurement):
+        report = bench_analysis.build_report(measurement, budget=10.0)
+        (record,) = report["records"]
+        assert record["speedup_vs_dense"] == pytest.approx(
+            10.0 / record["seconds"]
+        )
+
+
+class TestGate:
+    def test_blown_budget_exits_one(self, capsys):
+        # An impossible budget must fail loudly.
+        assert bench_analysis.main(["--budget", "0.000001", "--repeat", "1"]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_generous_budget_exits_zero(self, capsys):
+        assert bench_analysis.main(["--budget", "600", "--repeat", "1"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_append_records_a_ledger_line(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        assert (
+            bench_analysis.main(
+                [
+                    "--budget",
+                    "600",
+                    "--repeat",
+                    "1",
+                    "--append",
+                    "--note",
+                    "unit test",
+                    "--history",
+                    str(history),
+                ]
+            )
+            == 0
+        )
+        (entry,) = load_history(history)
+        assert entry["note"] == "unit test"
+        assert entry["records"][0]["kernel"] == bench_analysis.KERNEL
+
+
+class TestCommittedLedger:
+    def test_analysis_entry_is_recorded(self):
+        entries = load_history(REPO_ROOT / "BENCH_history.jsonl")
+        kernels = {
+            record["kernel"]
+            for entry in entries
+            for record in entry["records"]
+        }
+        assert bench_analysis.KERNEL in kernels

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Time the whole-program analysis pass; gate it under a wall budget.
+
+The whole-program rules (RL008-RL012) parse every source file once,
+build the project graph, and then run all twelve rules.  That pass
+runs on every PR and inside the tier-1 test suite, so it has a hard
+latency budget: **the full `src` scan must stay under 10 seconds**
+(default; ``--budget`` overrides).  This tool measures it, fails loudly
+when the budget is blown, and can record the measurement in the
+``BENCH_history.jsonl`` ledger in the same ``repro-bench/1`` schema the
+kernel benchmarks use::
+
+    python tools/bench_analysis.py                        # measure + gate
+    python tools/bench_analysis.py --append --note "PR 6" # also record
+    python tools/bench_analysis.py --budget 5.0           # tighter gate
+
+Ledger-record shape: ``kernel`` is ``reprolint_wholeprogram``,
+``seconds`` the best-of-``--repeat`` wall time, ``ops_per_s`` the file
+throughput, ``dense_seconds`` the budget, and ``speedup_vs_dense`` the
+headroom factor (budget / measured) -- a value sliding toward 1.0 means
+the analyzer is eating its budget.  Analysis entries share the ledger
+but never match kernel-benchmark records (different ``kernel`` key), so
+the existing regression gate is unaffected.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:  # installed package (CI) or PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # plain checkout: python tools/bench_analysis.py
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.config import load_config
+from repro.analysis.core import run_analysis
+from repro.obs.history import append_entry, history_entry
+
+__all__ = ["main", "measure"]
+
+KERNEL = "reprolint_wholeprogram"
+DEFAULT_BUDGET_SECONDS = 10.0
+
+
+def measure(repeat: int = 2) -> dict:
+    """Run the full analysis ``repeat`` times; return the measurement.
+
+    Best-of-N wall time: the gate cares about what the analyzer *can*
+    do, and the first iteration absorbs one-off import costs.
+    """
+    config = load_config(REPO_ROOT / "pyproject.toml")
+    timings: list[float] = []
+    violations: list = []
+    n_files = 0
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        violations, n_files = run_analysis(
+            [REPO_ROOT / "src"], config, root=REPO_ROOT
+        )
+        timings.append(time.perf_counter() - start)
+    return {
+        "seconds": min(timings),
+        "all_timings": timings,
+        "n_files": n_files,
+        "n_findings": len(violations),
+    }
+
+
+def build_report(measurement: dict, budget: float, seed: int = 0) -> dict:
+    """A ``repro-bench/1`` report for one analysis timing."""
+    seconds = measurement["seconds"]
+    return {
+        "schema": "repro-bench/1",
+        "seed": seed,
+        "smoke": False,
+        "records": [
+            {
+                "kernel": KERNEL,
+                "n_rects": int(measurement["n_files"]),
+                "n_points": 0,
+                "seconds": seconds,
+                "ops_per_s": measurement["n_files"] / seconds
+                if seconds > 0
+                else 0.0,
+                "unit": "files/s",
+                "dense_seconds": budget,
+                "speedup_vs_dense": budget / seconds
+                if seconds > 0
+                else 0.0,
+            }
+        ],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_analysis",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=DEFAULT_BUDGET_SECONDS,
+        help=f"max allowed seconds (default: {DEFAULT_BUDGET_SECONDS})",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="timing iterations; best-of is gated (default: 2)",
+    )
+    parser.add_argument(
+        "--append",
+        action="store_true",
+        help="record the measurement in the ledger",
+    )
+    parser.add_argument(
+        "--note", default="", help="ledger note (with --append)"
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=REPO_ROOT / "BENCH_history.jsonl",
+        help="ledger path (default: BENCH_history.jsonl)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="also write the repro-bench/1 report to this path",
+    )
+    args = parser.parse_args(argv)
+
+    measurement = measure(repeat=args.repeat)
+    report = build_report(measurement, args.budget)
+    record = report["records"][0]
+    print(
+        f"{KERNEL}: {measurement['seconds']:.3f}s best of "
+        f"{args.repeat} (all: "
+        f"{', '.join(f'{t:.3f}s' for t in measurement['all_timings'])}) "
+        f"over {measurement['n_files']} files "
+        f"({record['ops_per_s']:.0f} files/s, "
+        f"{measurement['n_findings']} finding(s))"
+    )
+
+    if args.out is not None:
+        args.out.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.out}")
+
+    if args.append:
+        recorded_at = (
+            datetime.datetime.now(datetime.timezone.utc)
+            .isoformat(timespec="seconds")
+        )
+        entry = history_entry(
+            report, recorded_at=recorded_at, note=args.note
+        )
+        append_entry(args.history, entry)
+        print(f"appended run {entry['run_id']} to {args.history}")
+
+    if measurement["seconds"] > args.budget:
+        print(
+            f"FAIL: whole-program analysis took "
+            f"{measurement['seconds']:.3f}s, budget is {args.budget:.1f}s",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: {measurement['seconds']:.3f}s <= {args.budget:.1f}s budget "
+        f"({record['speedup_vs_dense']:.1f}x headroom)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
