@@ -13,7 +13,13 @@ oracles on the two compute-dominant paths of the reproduction:
   online simulation, asserted bit-exact;
 * ``probe_simulation_throughput`` — the instrumented metrics-probe
   simulation (registry + per-level sink + trace ring) in queries/s,
-  grid vs dense stabbing backend.
+  grid vs dense stabbing backend;
+* ``sweep_parallel`` — the sharded process-pool sweep
+  (``workers=4`` over shared memory, :mod:`repro.simulation.shard`)
+  vs the in-process single-pass sweep as baseline, asserted
+  bit-exact.  ``speedup_vs_dense`` here is parallel-vs-serial; it
+  tracks the host's core count (a 1-CPU container honestly reports
+  < 1x — the pool only adds fork and IPC overhead there).
 
 The report is a machine-readable JSON file (schema ``repro-bench/1``,
 see :data:`RECORD_FIELDS` and ``docs/PERFORMANCE.md``) written to the
@@ -248,6 +254,58 @@ def _bench_stack_distance_sweep(
     )
 
 
+def _bench_sweep_parallel(
+    rng: np.random.Generator, n_rects: int, n_queries: int
+) -> dict:
+    """The 4-worker sharded sweep vs the in-process pass as baseline.
+
+    Both paths must return bit-identical tuples — the assert is the
+    benchmark's correctness half.  The timing half is honest about the
+    host: the ratio approaches the worker count only with that many
+    free cores, and drops below 1x on a single-CPU container.
+    """
+    rects = _node_like_rects(rng, n_rects)
+    capacity = 100 if n_rects >= 20_000 else 25
+    desc = pack_description(rects, capacity, "hs")
+    workload = UniformPointWorkload()
+    buffer_sizes = tuple(
+        int(b)
+        for b in np.unique(
+            np.geomspace(2, max(8, int(desc.total_nodes * 0.8)), 8).round()
+        )
+    )
+    n_batches = 10
+    batch_size = max(1, n_queries // n_batches)
+    seed = int(rng.integers(1 << 31))
+    kwargs = dict(n_batches=n_batches, batch_size=batch_size, rng=seed)
+
+    started = time.perf_counter()
+    serial = simulate_sweep(desc, workload, buffer_sizes, **kwargs)
+    dense_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    sharded = simulate_sweep(
+        desc, workload, buffer_sizes, workers=4, **kwargs
+    )
+    seconds = time.perf_counter() - started
+
+    for b, fast, slow in zip(buffer_sizes, sharded, serial):
+        if not _same_result(fast, slow):
+            raise AssertionError(
+                f"sharded sweep diverged from the in-process sweep at "
+                f"buffer size {b}"
+            )
+    return _record(
+        "sweep_parallel",
+        n_rects,
+        n_queries,
+        seconds,
+        dense_seconds,
+        ops=len(buffer_sizes) * n_batches * batch_size,
+        unit="capacity-queries/s",
+    )
+
+
 def _bench_probe_throughput(
     rng: np.random.Generator, n_rects: int, n_queries: int
 ) -> dict:
@@ -323,6 +381,7 @@ _FULL_SIZES = {
     "sim_throughput": (50_000, 20_000),
     "stack_sweep": (50_000, 200_000),
     "probe_throughput": (50_000, 20_000),
+    "sweep_parallel": (50_000, 200_000),
 }
 
 _SMOKE_SIZES = {
@@ -331,6 +390,7 @@ _SMOKE_SIZES = {
     "sim_throughput": (4_000, 2_000),
     "stack_sweep": (4_000, 10_000),
     "probe_throughput": (4_000, 2_000),
+    "sweep_parallel": (4_000, 10_000),
 }
 
 
@@ -344,6 +404,7 @@ def build_report(seed: int = 0, smoke: bool = False) -> dict:
         _bench_sim_throughput(rng, *sizes["sim_throughput"]),
         _bench_stack_distance_sweep(rng, *sizes["stack_sweep"]),
         _bench_probe_throughput(rng, *sizes["probe_throughput"]),
+        _bench_sweep_parallel(rng, *sizes["sweep_parallel"]),
     ]
     return {
         "schema": SCHEMA,

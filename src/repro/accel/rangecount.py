@@ -211,6 +211,18 @@ def segmented_left_rank(
     per-segment one plus a tiny per-segment "live pages" snapshot —
     cheaper because a segment's merge tree is shallow and because
     segments are independent (and therefore trivially parallel).
+    That engine decides every buffer size of the paper's buffer
+    curves (Fig. 6, 9 and 11) in one pass via the left-rank identity
+    ``D(t) = rank(t) − prev[t] − 1`` for within-segment reuse; the
+    independence of segments is also exactly what lets the sharded
+    process-pool sweep cut the stream on segment-aligned boundaries
+    and stay bit-exact (``docs/PARALLELISM.md``).
+
+    **Determinism guarantee.**  The result is a pure function of
+    ``(values, segment, block)``: batching, thread count and shard
+    boundaries chosen by callers never change a single count, because
+    every block and every prefix merge computes an exact integer
+    dominance count, not an approximation.
 
     Two-level scheme, everything in vectorised lock-step across all
     segments at once:

@@ -21,6 +21,15 @@ Mechanics:
   threads, so affinity is the wrong check.  Instead the tracer's
   shared containers (``_finished``, ``_threads``) are replaced with
   guards that assert ``self._lock`` is held during every mutation.
+* **Grant discipline** (shared memory): the sharded sweep's
+  :class:`~repro.simulation.shard.SharedArray` hands workers
+  :class:`~repro.simulation.shard.WriteGrant` slices.  Two grants
+  overlapping within one phase means two processes may write the same
+  bytes — ``grant()`` is patched to raise at issue time, before a
+  worker ever runs.  ``dispose()`` (close + unlink) is patched to
+  reject any process other than the creator: a forked child inherits
+  ``owner=True`` by copy, and a child unlink would yank the segment
+  out from under every sibling.
 * Ownership lives in a module-level table keyed by ``id(obj)``
   (``BufferStats`` has ``__slots__`` and accepts no new attributes).
   The patched ``__init__`` re-stamps on construction, so id reuse
@@ -224,6 +233,49 @@ def _patch_tracer(cls: type) -> None:
     cls.__init__ = __init__  # type: ignore[misc]
 
 
+def _patch_shard(cls: type) -> None:
+    """Overlapping write grants and non-creator unlinks raise.
+
+    ``grant()`` consults the per-phase ledger *before* delegating: an
+    overlap means two worker processes were about to share writable
+    bytes.  ``dispose()`` compares the calling pid against the
+    recorded creator — ``owner`` is a plain attribute and survives a
+    fork, so the flag alone cannot distinguish parent from child.
+    """
+    original_grant: Callable = cls.grant
+    _save(cls, "grant")
+
+    def grant(self: Any, lo: int, hi: int) -> Any:
+        for got_lo, got_hi in self._grants:
+            if lo < got_hi and got_lo < hi:
+                raise SanitizerError(
+                    f"overlapping write grant [{lo}, {hi}) on shared "
+                    f"segment: [{got_lo}, {got_hi}) is already granted "
+                    "this phase — two workers would race on the "
+                    "intersection; release_grants() at the barrier "
+                    "first"
+                )
+        return original_grant(self, lo, hi)
+
+    grant.__wrapped__ = original_grant  # type: ignore[attr-defined]
+    cls.grant = grant  # type: ignore[assignment]
+
+    original_dispose: Callable = cls.dispose
+    _save(cls, "dispose")
+
+    def dispose(self: Any) -> None:
+        if os.getpid() != self.created_pid:
+            raise SanitizerError(
+                f"shared segment disposed from pid {os.getpid()} but "
+                f"created by pid {self.created_pid}; only the creating "
+                "process may unlink (RL012 ownership)"
+            )
+        original_dispose(self)
+
+    dispose.__wrapped__ = original_dispose  # type: ignore[attr-defined]
+    cls.dispose = dispose  # type: ignore[assignment]
+
+
 def install() -> None:
     """Patch the runtime classes in place (idempotent)."""
     global _installed
@@ -231,10 +283,12 @@ def install() -> None:
         return
     from repro.buffer.base import BufferPool, BufferStats
     from repro.obs.spans import Tracer
+    from repro.simulation.shard import SharedArray
 
     _patch_stats(BufferStats)
     _patch_pool(BufferPool)
     _patch_tracer(Tracer)
+    _patch_shard(SharedArray)
     _installed = True
 
 

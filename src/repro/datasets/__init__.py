@@ -3,7 +3,14 @@
 from __future__ import annotations
 
 from .cfd import CFD_SIZE, Airfoil, WING_ELEMENTS, cfd_like
-from .io import load_rects, load_rects_npz, save_rects, save_rects_npz
+from .io import (
+    load_rects,
+    load_rects_npz,
+    open_mmap,
+    save_mmap,
+    save_rects,
+    save_rects_npz,
+)
 from .synthetic import REGION_MAX_SIDE, synthetic_point, synthetic_region
 from .tiger import TIGER_SIZE, tiger_like
 
@@ -16,6 +23,8 @@ __all__ = [
     "cfd_like",
     "load_rects",
     "load_rects_npz",
+    "open_mmap",
+    "save_mmap",
     "save_rects",
     "save_rects_npz",
     "synthetic_point",

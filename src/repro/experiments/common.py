@@ -2,21 +2,35 @@
 
 Data sets and tree descriptions are deterministic and cached per
 process, so a bench run builds each tree (including the slow TAT
-trees) exactly once.  Simulation budgets honour two environment
-variables so the validation experiments can be scaled up toward the
-paper's 20 × 10⁶ queries when runtime allows:
+trees) exactly once.  Simulation budgets honour environment variables
+so the validation experiments can be scaled up toward the paper's
+20 × 10⁶ queries when runtime allows:
 
 * ``REPRO_SIM_BATCHES``  (default 20, as in the paper)
 * ``REPRO_SIM_QUERIES``  (queries per batch, default 20,000)
+* ``REPRO_SIM_WORKERS``  (default 0: in-process sweeps; ``>= 1``
+  shards ``simulate_sweep`` across that many worker processes —
+  results are bit-identical either way, see ``docs/PARALLELISM.md``)
+* ``REPRO_DATASET_MMAP`` (a directory: cache generated data sets as
+  memory-mapped ``.npy`` files there and serve them zero-copy, so
+  sweep worker processes share one page-cache copy per data set)
 """
 
 from __future__ import annotations
 
 import os
 from functools import lru_cache
+from pathlib import Path
 from typing import Sequence
 
-from ..datasets import cfd_like, synthetic_point, synthetic_region, tiger_like
+from ..datasets import (
+    cfd_like,
+    open_mmap,
+    save_mmap,
+    synthetic_point,
+    synthetic_region,
+    tiger_like,
+)
 from ..geometry import RectArray
 from ..packing import load_description
 from ..rtree import TreeDescription
@@ -28,6 +42,7 @@ __all__ = [
     "get_description",
     "sim_batches",
     "sim_queries_per_batch",
+    "sim_workers",
 ]
 
 DATASET_SEEDS = {"tiger": 1998, "cfd": 737, "region": 11, "point": 13}
@@ -44,14 +59,12 @@ def sim_queries_per_batch() -> int:
     return int(os.environ.get("REPRO_SIM_QUERIES", "20000"))
 
 
-@lru_cache(maxsize=None)
-def get_dataset(name: str, n: int | None = None) -> RectArray:
-    """A cached, deterministic data set by name.
+def sim_workers() -> int:
+    """Worker processes for sweep simulations (0 = in-process)."""
+    return int(os.environ.get("REPRO_SIM_WORKERS", "0"))
 
-    ``name`` is one of ``tiger``, ``cfd``, ``region``, ``point``;
-    ``n`` overrides the default size (mandatory for the synthetic
-    families).
-    """
+
+def _generate_dataset(name: str, n: int | None) -> RectArray:
     seed = DATASET_SEEDS.get(name)
     if name == "tiger":
         return tiger_like(rng=seed) if n is None else tiger_like(n, rng=seed)
@@ -66,6 +79,29 @@ def get_dataset(name: str, n: int | None = None) -> RectArray:
             raise ValueError("synthetic point data needs an explicit size")
         return synthetic_point(n, rng=seed)
     raise ValueError(f"unknown dataset {name!r}")
+
+
+@lru_cache(maxsize=None)
+def get_dataset(name: str, n: int | None = None) -> RectArray:
+    """A cached, deterministic data set by name.
+
+    ``name`` is one of ``tiger``, ``cfd``, ``region``, ``point``;
+    ``n`` overrides the default size (mandatory for the synthetic
+    families).  With ``REPRO_DATASET_MMAP`` set to a directory the
+    data set is written there once (keyed by name, size and seed) and
+    served as a zero-copy memory-mapped view — byte-identical to the
+    generated array, but shared across processes via the page cache.
+    """
+    cache_dir = os.environ.get("REPRO_DATASET_MMAP", "")
+    if not cache_dir:
+        return _generate_dataset(name, n)
+    directory = Path(cache_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    seed = DATASET_SEEDS.get(name)
+    path = directory / f"{name}-{'def' if n is None else n}-s{seed}.npy"
+    if not path.exists():
+        save_mmap(path, _generate_dataset(name, n))
+    return open_mmap(path)
 
 
 @lru_cache(maxsize=None)

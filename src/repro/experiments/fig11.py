@@ -21,7 +21,13 @@ from ..buffer import PinningError
 from ..model import buffer_model
 from ..queries import UniformPointWorkload, UniformRegionWorkload
 from ..simulation import simulate_sweep
-from .common import Table, get_description, sim_batches, sim_queries_per_batch
+from .common import (
+    Table,
+    get_description,
+    sim_batches,
+    sim_queries_per_batch,
+    sim_workers,
+)
 
 __all__ = ["Fig11Result", "run"]
 
@@ -116,6 +122,7 @@ def run(
                     pinned_levels=p,
                     n_batches=n_batches,
                     batch_size=batch_size,
+                    workers=sim_workers(),
                 )
                 if feasible
                 else ()

@@ -17,7 +17,13 @@ from dataclasses import dataclass
 from ..model import buffer_model_sweep, expected_node_accesses
 from ..queries import UniformPointWorkload, UniformRegionWorkload
 from ..simulation import simulate_sweep
-from .common import Table, get_description, sim_batches, sim_queries_per_batch
+from .common import (
+    Table,
+    get_description,
+    sim_batches,
+    sim_queries_per_batch,
+    sim_workers,
+)
 
 __all__ = ["Fig6Result", "run"]
 
@@ -134,6 +140,7 @@ def run(
                     buffer_sizes,
                     n_batches=n_batches,
                     batch_size=batch_size,
+                    workers=sim_workers(),
                 )
             )
             region_curves[loader] = tuple(
@@ -144,6 +151,7 @@ def run(
                     buffer_sizes,
                     n_batches=n_batches,
                     batch_size=batch_size,
+                    workers=sim_workers(),
                 )
             )
         else:

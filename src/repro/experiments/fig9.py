@@ -19,7 +19,13 @@ from dataclasses import dataclass
 from ..model import buffer_model, expected_node_accesses
 from ..queries import UniformPointWorkload, UniformRegionWorkload
 from ..simulation import simulate_sweep
-from .common import Table, get_description, sim_batches, sim_queries_per_batch
+from .common import (
+    Table,
+    get_description,
+    sim_batches,
+    sim_queries_per_batch,
+    sim_workers,
+)
 
 __all__ = ["Fig9Result", "run"]
 
@@ -112,6 +118,7 @@ def run(
                     buffers,
                     n_batches=n_batches,
                     batch_size=batch_size,
+                    workers=sim_workers(),
                 )
                 for b, measured in zip(buffers, results):
                     disk[(loader, b)].append(measured.disk_accesses.mean)

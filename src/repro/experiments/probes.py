@@ -28,7 +28,7 @@ from ..queries import (
     UniformRegionWorkload,
 )
 from ..simulation import SimulationResult, simulate, simulate_sweep
-from .common import get_dataset, get_description
+from .common import get_dataset, get_description, sim_workers
 
 __all__ = [
     "METRICS_PROBES",
@@ -212,13 +212,16 @@ def run_sweep_probe(
     *,
     n_batches: int = 5,
     batch_size: int = 2000,
+    workers: int | None = None,
 ) -> tuple[tuple[SimulationResult, ...], dict[str, Any]]:
     """Run one multi-capacity sweep probe in a single offline pass.
 
     Returns the per-capacity results (ordered like
     ``spec.buffer_sizes``) and the probe-configuration mapping for the
     document's ``sweep.probe`` field.  Deterministic: the sweep's
-    default seed and the cached data sets pin every random stream.
+    default seed and the cached data sets pin every random stream,
+    and the worker count (``None`` honours ``REPRO_SIM_WORKERS``)
+    never changes a single byte of the results.
     """
     try:
         factory = _WORKLOAD_FACTORIES[spec.workload]
@@ -239,6 +242,7 @@ def run_sweep_probe(
         batch_size=batch_size,
         warmup_queries=spec.warmup_queries,
         registry=registry,
+        workers=sim_workers() if workers is None else workers,
     )
     probe = spec.as_dict()
     probe["n_batches"] = n_batches

@@ -66,16 +66,21 @@ RECORD_FIELDS = {
 """Required fields (and types) of every record in a bench report."""
 
 DEFAULT_TOLERANCES: dict[str, float] = {
-    "seconds": 1.5,
-    "ops_per_s": 1.5,
-    "speedup_vs_dense": 1.4,
+    "seconds": 1.35,
+    "ops_per_s": 1.35,
+    "speedup_vs_dense": 1.3,
 }
 """Per-metric maximum worsening factor before a delta counts as a
 regression.  ``seconds`` may grow by the factor; throughput-like
 metrics (``ops_per_s``, ``speedup_vs_dense``) may shrink by it.  The
-defaults absorb ordinary machine noise (1.4–1.5× is far above the
-few-percent run-to-run jitter of these kernels) while catching any
-real algorithmic regression, which historically shows up as ≥ 2×."""
+defaults absorb ordinary machine noise (run-to-run jitter of these
+kernels is a few percent on an idle host, so 1.3–1.35× leaves ample
+headroom) while catching any real algorithmic regression, which
+historically shows up as ≥ 2×.  Measured trajectory across the
+committed ledger: every same-host kernel ratio stayed within 1.15×
+except where the *baseline* side legitimately changed (e.g. the
+stabber work hint speeding up the online engine) — those land as a
+fresh ledger entry, not a loosened gate."""
 
 _LOWER_IS_BETTER = frozenset({"seconds"})
 _HIGHER_IS_BETTER = frozenset({"ops_per_s", "speedup_vs_dense"})

@@ -171,13 +171,27 @@ def simulate(
         batch_size=batch_size,
     )
     with root_span:
+        # The stabber sees the whole run: warm-up (bounded by the cap
+        # or the explicit count) plus every measurement batch.  The
+        # work hint lets make_stabber promote small trees to the grid
+        # when the probe volume is large (fig6-sized runs), exactly as
+        # the sweep path does — backends are bit-exact, so the hint
+        # only ever changes speed.
+        probe_budget = (
+            warmup_cap if warmup_queries is None else warmup_queries
+        ) + n_batches * batch_size
         if isinstance(workload, MixedWorkload):
             transformed = workload.component_transforms(desc.all_rects)
-            stabber = [make_stabber(t, mode=accel) for t in transformed]
+            stabber = [
+                make_stabber(t, mode=accel, n_points=probe_budget)
+                for t in transformed
+            ]
             backend = ",".join(sorted({type(s).__name__ for s in stabber}))
         else:
             transformed = workload.transformed_rects(desc.all_rects)
-            stabber = make_stabber(transformed, mode=accel)
+            stabber = make_stabber(
+                transformed, mode=accel, n_points=probe_budget
+            )
             backend = type(stabber).__name__
         root_span.set_attrs(backend=backend)
         pinned_ids = range(desc.level_offsets[pinned_levels])

@@ -1,0 +1,674 @@
+"""Multiprocess sharding of the Mattson stack-distance sweep.
+
+This module is the process-pool half of
+:func:`~repro.simulation.simulate_sweep` — the full design, with the
+boundary math and the bit-exactness argument, lives in
+``docs/PARALLELISM.md``.  The short version:
+
+Every phase of the offline sweep is a computation over the flattened
+unpinned access stream ``pages[0:n]`` whose natural decomposition is
+by *contiguous stream ranges*, and every per-range kernel below is
+constructed so that running it over any disjoint cover of ``[0, n)``
+and merging in range order reproduces the serial arrays **bit for
+bit**:
+
+* **stab** — stabbers are pure functions of prebuilt arrays, so
+  stabbing point spans in workers and concatenating in span order is
+  the serial result by definition.
+* **prev** — the previous-occurrence index is sharded as a
+  *slice-local scan plus a boundary stitch*: each worker resolves
+  ``prev`` inside its slice (a local stable argsort) and reports, per
+  page, the last position it saw and the positions of first-in-slice
+  occurrences; the parent then walks the shards in order, patching
+  each first occurrence with the page's last position in earlier
+  shards.  ``prev`` is uniquely defined, so any schedule that fills
+  every position with the true previous occurrence is exact.
+* **distances** — segments of :func:`~repro.accel.segmented_left_rank`
+  are independent by construction, so shards cut on segment-aligned
+  boundaries; the far-access snapshot tables are rebuilt per shard
+  from the *global* read-only ``prev``/``nxt`` arrays with liveness
+  runs clipped to the shard's boundary window, which preserves every
+  per-boundary live set exactly (membership ``first[q] <= c <=
+  last[q]`` is unchanged by clipping to a window containing ``c``).
+* **accounting** — per-batch miss/eviction counts are sums of
+  indicator variables over access ranges; integer partial sums over
+  ``shard ∩ batch`` ranges added in any order are associative, so the
+  merged counts equal the serial counts and the (identical) float
+  batch-means path runs once, in the parent.
+
+Workers exchange bulk data through ``multiprocessing.shared_memory``
+(:class:`SharedArray`), never through pickles: inputs are attached as
+read-only views, outputs through :class:`WriteGrant` views that
+expose *only* the granted ``[lo, hi)`` slice — a worker structurally
+cannot write outside its shard.  Ownership follows the RL012 rules:
+the parent creates, grants, and finally unlinks every segment
+(``dispose``); workers hold borrowed attachments that are
+unregistered from the resource tracker at attach time and die with
+the worker process.  Grants are the RL009 "disjoint slice" idiom made
+explicit — the ``REPRO_SANITIZE=1`` sanitizer patches
+:meth:`SharedArray.grant` to fail loudly on overlapping grants and on
+a non-creator unlink.
+
+The sharded path requires the ``fork`` start method (the stabber and
+sampled points reach workers via fork-inherited module state);
+:func:`fork_available` gates it, and ``simulate_sweep`` silently runs
+its in-process path where fork does not exist.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import resource_tracker, shared_memory
+from typing import NamedTuple
+
+import numpy as np
+
+from ..accel import segmented_left_rank
+from ..obs.spans import current_tracer, span
+from .engine import _CHUNK, SimulationResult
+
+__all__ = [
+    "ShmSpec",
+    "SharedArray",
+    "WriteGrant",
+    "attach_readonly",
+    "fork_available",
+    "plan_shards",
+    "sharded_sweep",
+]
+
+
+def fork_available() -> bool:
+    """Whether this platform can run the sharded sweep.
+
+    The stab phase ships its stabber to workers by forking after it is
+    built; ``spawn``-only platforms fall back to the in-process path.
+    """
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# ----------------------------------------------------------------------
+# Shared-memory plumbing
+# ----------------------------------------------------------------------
+
+
+class ShmSpec(NamedTuple):
+    """A picklable handle to one shared segment: name, length, dtype."""
+
+    name: str
+    length: int
+    dtype: str
+
+
+class WriteGrant(NamedTuple):
+    """Permission to write one ``[lo, hi)`` slice of a shared array.
+
+    The only way a worker gets a writable view: :meth:`writable` maps
+    *exactly* the granted slice (the numpy view starts at ``lo`` and
+    ends at ``hi``), so out-of-grant writes are impossible by
+    construction, not by convention.  Grants are issued by the owning
+    parent (:meth:`SharedArray.grant`), which keeps the ledger the
+    sanitizer checks for overlaps.
+    """
+
+    spec: ShmSpec
+    lo: int
+    hi: int
+
+    def writable(self) -> np.ndarray:
+        """The granted slice as a writable view (worker side)."""
+        shm = _attach_shm(self.spec.name)
+        itemsize = np.dtype(self.spec.dtype).itemsize
+        return np.ndarray(
+            (self.hi - self.lo,),
+            dtype=self.spec.dtype,
+            buffer=shm.buf,
+            offset=self.lo * itemsize,
+        )
+
+
+class SharedArray:
+    """A 1-D numpy array in shared memory with one owning process.
+
+    The creator is the owner: it holds the writable full view
+    (:attr:`array`), issues :class:`WriteGrant` slices to workers, and
+    is the only process allowed to :meth:`dispose` (close + unlink)
+    the segment.  Workers never construct these — they attach through
+    :meth:`WriteGrant.writable` / :func:`attach_readonly`, borrowing the
+    mapping until the worker process exits.
+    """
+
+    __slots__ = ("_shm", "length", "dtype", "owner", "created_pid", "_grants")
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        length: int,
+        dtype: np.dtype,
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self.length = int(length)
+        self.dtype = np.dtype(dtype)
+        self.owner = owner
+        self.created_pid = os.getpid()
+        self._grants: list[tuple[int, int]] = []
+
+    @classmethod
+    def create(cls, length: int, dtype) -> "SharedArray":
+        """A new zero-filled owned segment of ``length`` items."""
+        dtype = np.dtype(dtype)
+        size = max(1, int(length) * dtype.itemsize)
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        return cls(shm, length, dtype, owner=True)
+
+    @property
+    def spec(self) -> ShmSpec:
+        return ShmSpec(self._shm.name, self.length, self.dtype.str)
+
+    @property
+    def array(self) -> np.ndarray:
+        """The owner's writable full view."""
+        return np.ndarray((self.length,), dtype=self.dtype, buffer=self._shm.buf)
+
+    def grant(self, lo: int, hi: int) -> WriteGrant:
+        """Grant write access to ``[lo, hi)`` (parent side).
+
+        The ledger of outstanding grants is kept per phase; the
+        sanitizer patches this method to reject overlapping grants,
+        the static shape (a view that *is* the slice) does the rest.
+        """
+        if not 0 <= lo <= hi <= self.length:
+            raise ValueError(f"grant [{lo}, {hi}) outside [0, {self.length})")
+        self._grants.append((int(lo), int(hi)))
+        return WriteGrant(self.spec, int(lo), int(hi))
+
+    def release_grants(self) -> None:
+        """Drop the grant ledger at a phase barrier (all futures done)."""
+        self._grants.clear()
+
+    def dispose(self) -> None:
+        """Owner-only: close the mapping and unlink the segment."""
+        if not self.owner:
+            raise RuntimeError("only the owning process may dispose a segment")
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+_attach_lock = threading.Lock()
+
+
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach (once per process) to a segment owned by the parent.
+
+    Attaching must *not* register the segment with the resource
+    tracker: the creating parent already registered it, it alone
+    unlinks it (RL012 ownership), and on Python < 3.13 (no
+    ``track=False``) a borrowed attachment's registration can land in
+    a worker-respawned tracker that later warns about — or worse,
+    unlinks — a segment it never owned.  So the attach temporarily
+    swaps ``register`` for a no-op; the swap happens under
+    ``_attach_lock`` and segment *creation* never runs concurrently
+    with an attach in the same process (creates all happen in the
+    orchestrator before any grant is handed out).  The cached mapping
+    lives until the worker process dies with its pool.
+    """
+    with _attach_lock:
+        shm = _ATTACHED.get(name)
+        if shm is None:
+            original = resource_tracker.register
+            resource_tracker.register = _untracked_register
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original
+            _ATTACHED[name] = shm
+    return shm
+
+
+def _untracked_register(name: str, rtype: str) -> None:
+    """Stand-in for ``resource_tracker.register`` during attach."""
+
+
+def attach_readonly(spec: ShmSpec) -> np.ndarray:
+    """A read-only full view of a shared segment (worker side)."""
+    shm = _attach_shm(spec.name)
+    arr = np.ndarray((spec.length,), dtype=spec.dtype, buffer=shm.buf)
+    arr.setflags(write=False)
+    return arr
+
+
+def plan_shards(
+    n: int, shards: int, *, align: int = 1
+) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` spans covering ``range(n)``.
+
+    Spans are equal-width (up to the tail), cut on multiples of
+    ``align`` so segment-dependent kernels never straddle a shard
+    boundary.  The cover is a pure function of ``(n, shards, align)``
+    — the shard plan, and with it every merge order, is deterministic.
+    """
+    if n <= 0:
+        return []
+    shards = max(1, int(shards))
+    width = -(-n // shards)
+    if align > 1:
+        width = -(-width // align) * align
+    return [(lo, min(lo + width, n)) for lo in range(0, n, width)]
+
+
+# ----------------------------------------------------------------------
+# Worker-side kernels
+# ----------------------------------------------------------------------
+#
+# Each worker self-times with the shared CLOCK_MONOTONIC epoch and
+# returns a small report dict; the parent replays the reports as
+# ``stackdist.shard`` spans in shard order (deterministic span ids).
+
+
+def _report_start() -> dict:
+    return {
+        "pid": os.getpid(),
+        "start_ns": time.perf_counter_ns(),
+        "cpu_ns": time.thread_time_ns(),
+    }
+
+
+def _report_end(report: dict) -> dict:
+    return {
+        **report,
+        "cpu_ns": time.thread_time_ns() - report["cpu_ns"],
+        "end_ns": time.perf_counter_ns(),
+    }
+
+
+_STAB_CONTEXT: dict[int, tuple] = {}
+_context_lock = threading.Lock()
+_TOKENS = itertools.count()
+
+
+def _stab_shard(token: int, lo: int, hi: int):
+    """Stab one contiguous point span (fork-inherited stabber).
+
+    Pure: the stabber and points are read-only state inherited at
+    fork, the result is the exact slice of the serial stab.
+    """
+    report = _report_start()
+    stabber, points = _STAB_CONTEXT[token]
+    sparse = stabber.stab(points[lo:hi])
+    return sparse.indptr, sparse.ids, _report_end(report)
+
+
+def _prev_shard(grant: WriteGrant, pages_spec: ShmSpec, n_pages: int):
+    """Slice-local previous-occurrence pass over ``pages[lo:hi)``.
+
+    Writes the in-slice ``prev`` links into the granted slice and
+    returns the two stitch tables: ``last_occ[page]`` — the last
+    position of each page inside the slice (−1 if absent) — and
+    ``firsts`` — the global positions of first-in-slice occurrences,
+    which the parent patches with earlier shards' last occurrences.
+    """
+    report = _report_start()
+    lo, hi = grant.lo, grant.hi
+    pages = attach_readonly(pages_spec)
+    sub = pages[lo:hi]
+    prev_w = grant.writable()
+    order = np.argsort(sub, kind="stable")
+    sp = sub[order]
+    same = sp[1:] == sp[:-1]
+    prev_w[order[1:][same]] = order[:-1][same] + lo
+    last_occ = np.full(n_pages, -1, dtype=np.int64)
+    last_occ[sp] = order + lo  # stable sort: last write per page wins
+    first_mask = np.ones(hi - lo, dtype=bool)
+    first_mask[1:] = ~same
+    firsts = order[first_mask] + lo
+    return last_occ, firsts, _report_end(report)
+
+
+def _distance_shard(
+    grant: WriteGrant,
+    prev_spec: ShmSpec,
+    nxt_spec: ShmSpec,
+    segment: int,
+):
+    """Stack distances for accesses in the (segment-aligned) shard.
+
+    Mirrors the serial ``_stack_distances`` arithmetic exactly: near
+    accesses telescope to the segment-local left rank, far accesses
+    add a snapshot count of live positions.  The snapshot tables are
+    rebuilt from the global read-only ``prev``/``nxt`` with liveness
+    runs clipped to this shard's boundary window ``[c0, c1)`` — every
+    queried boundary's live set (and hence every ``searchsorted``
+    count) is identical to the serial table's.
+    """
+    report = _report_start()
+    lo, hi = grant.lo, grant.hi
+    prev = attach_readonly(prev_spec)
+    nxt = attach_readonly(nxt_spec)
+    n = prev.shape[0]
+    sub_prev = prev[lo:hi]
+    depth_w = grant.writable()
+    ranks = segmented_left_rank(sub_prev, segment)
+    t = np.arange(lo, hi, dtype=np.int64)
+    seg_start = t - t % segment
+    cold = sub_prev < 0
+    near = sub_prev >= seg_start
+    depth_w[near] = seg_start[near] + ranks[near] - sub_prev[near] - 1
+    far = ~near & ~cold
+    if np.any(far):
+        n_segments = -(-n // segment)
+        qseg = t[far] // segment
+        c0 = int(qseg.min())
+        c1 = int(qseg.max()) + 1
+        tg = np.arange(n, dtype=np.int64)
+        first = np.maximum(tg // segment + 1, c0)
+        last = np.minimum(nxt // segment, min(n_segments - 1, c1 - 1))
+        runs = np.maximum(last - first + 1, 0)
+        live_pos = np.repeat(tg, runs)
+        run_base = np.repeat(np.cumsum(runs) - runs, runs)
+        offsets = np.arange(live_pos.shape[0], dtype=np.int64) - run_base
+        keys = (np.repeat(first, runs) + offsets) * n + live_pos
+        keys.sort()
+        starts = np.searchsorted(
+            keys, np.arange(c0, c1, dtype=np.int64) * n, side="left"
+        )
+        sizes = np.diff(np.append(starts, keys.shape[0]))
+        at_most_p = (
+            np.searchsorted(keys, qseg * n + sub_prev[far], side="right")
+            - starts[qseg - c0]
+        )
+        depth_w[far] = sizes[qseg - c0] - at_most_p + ranks[far]
+    return _report_end(report)
+
+
+def _account_shard(
+    prev_spec: ShmSpec,
+    depth_spec: ShmSpec,
+    ccold_spec: ShmSpec,
+    lo: int,
+    hi: int,
+    capacities: np.ndarray,
+    cap_bounds: np.ndarray,
+):
+    """Per-capacity × per-batch partial miss/eviction counts.
+
+    ``cap_bounds[k]`` holds capacity ``k``'s batch access bounds; the
+    shard counts indicators over ``shard ∩ batch`` ranges only, so the
+    parent's elementwise int64 sum over shards is the serial count.
+    """
+    report = _report_start()
+    prev = attach_readonly(prev_spec)
+    depth = attach_readonly(depth_spec)
+    ccold = attach_readonly(ccold_spec)
+    n_caps, n_bounds = cap_bounds.shape
+    miss_out = np.zeros((n_caps, n_bounds - 1), dtype=np.int64)
+    evict_out = np.zeros_like(miss_out)
+    for k in range(n_caps):
+        bounds = cap_bounds[k]
+        a0 = max(int(bounds[0]), lo)
+        a1 = min(int(bounds[-1]), hi)
+        if a0 >= a1:
+            continue
+        capacity = int(capacities[k])
+        miss = (prev[a0:a1] < 0) | (depth[a0:a1] >= capacity)
+        cmiss = np.zeros(a1 - a0 + 1, dtype=np.int64)
+        np.cumsum(miss, out=cmiss[1:])
+        rel = np.clip(bounds, a0, a1) - a0
+        miss_out[k] = cmiss[rel[1:]] - cmiss[rel[:-1]]
+        if capacity > 0:
+            evict = miss & (ccold[a0:a1] >= capacity)
+            cevict = np.zeros(a1 - a0 + 1, dtype=np.int64)
+            np.cumsum(evict, out=cevict[1:])
+            evict_out[k] = cevict[rel[1:]] - cevict[rel[:-1]]
+    return miss_out, evict_out, _report_end(report)
+
+
+# ----------------------------------------------------------------------
+# Parent-side orchestration
+# ----------------------------------------------------------------------
+
+
+class _SparseChunk(NamedTuple):
+    """Duck-typed stand-in for a stab result shipped back by a worker."""
+
+    indptr: np.ndarray
+    ids: np.ndarray
+
+
+def _record_shard(report: dict, *, phase: str, shard: int, lo: int, hi: int):
+    """Replay one worker report as a ``stackdist.shard`` span."""
+    tracer = current_tracer()
+    if tracer is None:
+        return
+    tracer.record_completed(
+        "stackdist.shard",
+        start_ns=report["start_ns"],
+        end_ns=report["end_ns"],
+        cpu_ns=report["cpu_ns"],
+        worker=report["pid"],
+        phase=phase,
+        shard=shard,
+        lo=lo,
+        hi=hi,
+        pid=report["pid"],
+    )
+
+
+def sharded_sweep(
+    desc,
+    workload,
+    buffer_sizes: tuple[int, ...],
+    *,
+    pinned_count: int,
+    n_batches: int,
+    batch_size: int,
+    warmup_queries: int | None,
+    warmup_cap: int,
+    confidence: float,
+    seed: int,
+    accel: str,
+    workers: int,
+) -> tuple[SimulationResult, ...]:
+    """The process-pool sweep: bit-exact against ``workers=0``.
+
+    Phases run in order over one fork-context pool — stab spans, the
+    prev stitch, segment-aligned distances, then accounting partials —
+    with the parent consuming futures in shard order, so every array
+    and every float in the returned results is identical to the
+    in-process path's for any ``workers >= 1``.
+    """
+    from .stackdist import (
+        _LR_SEGMENT,
+        _assemble_result,
+        _capacity_bounds,
+        _generate_stream,
+        _warmup_for,
+    )
+
+    capacities = [b - pinned_count for b in buffer_sizes]
+    measurement = n_batches * batch_size
+    ctx = multiprocessing.get_context("fork")
+    with _context_lock:
+        token = next(_TOKENS)
+    pool: ProcessPoolExecutor | None = None
+    segments: list[SharedArray] = []
+
+    def ensure_pool() -> ProcessPoolExecutor:
+        nonlocal pool
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+        return pool
+
+    def tail_stab(stabber, points):
+        remaining = points.shape[0]
+        if remaining < 2 * _CHUNK:
+            return [stabber.stab(points)]
+        with _context_lock:
+            _STAB_CONTEXT[token] = (stabber, points)
+        executor = ensure_pool()  # forks *after* the context is set
+        spans_ = plan_shards(remaining, workers)
+        futures = [
+            executor.submit(_stab_shard, token, lo, hi)
+            for lo, hi in spans_
+        ]
+        chunks = []
+        for i, ((lo, hi), fut) in enumerate(zip(spans_, futures)):
+            indptr, ids, report = fut.result()
+            _record_shard(report, phase="stream", shard=i, lo=lo, hi=hi)
+            chunks.append(_SparseChunk(indptr, ids))
+        return chunks
+
+    try:
+        with span("stackdist.stream", workers=workers) as stream_span:
+            stream = _generate_stream(
+                desc,
+                workload,
+                pinned_count=pinned_count,
+                max_capacity=max(capacities),
+                measurement=measurement,
+                warmup_queries=warmup_queries,
+                warmup_cap=warmup_cap,
+                seed=seed,
+                accel=accel,
+                tail_stab=tail_stab,
+            )
+            stream_span.set_attrs(
+                queries=stream.n_queries,
+                accesses=int(stream.q_indptr[-1]),
+                unpinned=int(stream.pages.size),
+                backend=stream.backend,
+            )
+
+        n = int(stream.pages.shape[0])
+        n_pages = int(desc.total_nodes)
+
+        with span("stackdist.distances", accesses=n, workers=workers):
+            pages_sh = SharedArray.create(n, np.int64)
+            prev_sh = SharedArray.create(n, np.int64)
+            nxt_sh = SharedArray.create(n, np.int64)
+            depth_sh = SharedArray.create(n, np.int64)
+            ccold_sh = SharedArray.create(n + 1, np.int64)
+            segments += [pages_sh, prev_sh, nxt_sh, depth_sh, ccold_sh]
+            pages_sh.array[:] = stream.pages
+
+            executor = ensure_pool()
+            spans_ = plan_shards(n, workers)
+            futures = [
+                executor.submit(
+                    _prev_shard, prev_sh.grant(lo, hi), pages_sh.spec, n_pages
+                )
+                for lo, hi in spans_
+            ]
+            prev_view = prev_sh.array
+            last_global = np.full(n_pages, -1, dtype=np.int64)
+            for i, ((lo, hi), fut) in enumerate(zip(spans_, futures)):
+                last_occ, firsts, report = fut.result()
+                # Stitch: a first-in-slice occurrence's true prev is
+                # its page's last occurrence in any earlier shard.
+                if firsts.size:
+                    prev_view[firsts] = last_global[stream.pages[firsts]]
+                np.copyto(last_global, last_occ, where=last_occ >= 0)
+                _record_shard(report, phase="prev", shard=i, lo=lo, hi=hi)
+            prev_sh.release_grants()
+
+            # Serial epilogue on owner views: running cold counts and
+            # the next-occurrence scatter (cheap, order-dependent).
+            cold = prev_view < 0
+            ccold_view = ccold_sh.array
+            ccold_view[0] = 0
+            np.cumsum(cold, out=ccold_view[1:])
+            nxt_view = nxt_sh.array
+            nxt_view[:] = n
+            warm_idx = np.nonzero(~cold)[0]
+            nxt_view[prev_view[warm_idx]] = warm_idx
+
+            seg_spans = plan_shards(n, workers, align=_LR_SEGMENT)
+            futures = [
+                executor.submit(
+                    _distance_shard,
+                    depth_sh.grant(lo, hi),
+                    prev_sh.spec,
+                    nxt_sh.spec,
+                    _LR_SEGMENT,
+                )
+                for lo, hi in seg_spans
+            ]
+            for i, ((lo, hi), fut) in enumerate(zip(seg_spans, futures)):
+                report = fut.result()
+                _record_shard(report, phase="distances", shard=i, lo=lo, hi=hi)
+            depth_sh.release_grants()
+
+        warmups = [
+            _warmup_for(stream, c, warmup_queries, warmup_cap)
+            for c in capacities
+        ]
+        per_cap = [
+            _capacity_bounds(stream, w, n_batches, batch_size)
+            for w in warmups
+        ]
+        caps_arr = np.asarray(capacities, dtype=np.int64)
+        cap_bounds = np.stack([bounds for _, bounds in per_cap])
+
+        with span("stackdist.accounting", workers=workers):
+            executor = ensure_pool()
+            acc_spans = plan_shards(n, workers)
+            futures = [
+                executor.submit(
+                    _account_shard,
+                    prev_sh.spec,
+                    depth_sh.spec,
+                    ccold_sh.spec,
+                    lo,
+                    hi,
+                    caps_arr,
+                    cap_bounds,
+                )
+                for lo, hi in acc_spans
+            ]
+            miss = np.zeros((len(buffer_sizes), n_batches), dtype=np.int64)
+            evict = np.zeros_like(miss)
+            for i, ((lo, hi), fut) in enumerate(zip(acc_spans, futures)):
+                miss_part, evict_part, report = fut.result()
+                miss += miss_part
+                evict += evict_part
+                _record_shard(report, phase="account", shard=i, lo=lo, hi=hi)
+
+        results = []
+        for k, size in enumerate(buffer_sizes):
+            batch_queries, access_bounds = per_cap[k]
+            with span(
+                "stackdist.capacity",
+                buffer_size=size,
+                capacity=capacities[k],
+                warmup=warmups[k],
+            ):
+                results.append(
+                    _assemble_result(
+                        stream,
+                        capacity=capacities[k],
+                        warmed=warmups[k],
+                        batch_queries=batch_queries,
+                        miss_b=miss[k],
+                        evict_b=evict[k],
+                        resident=int(ccold_view[access_bounds[0]]),
+                        batch_size=batch_size,
+                        confidence=confidence,
+                    )
+                )
+        return tuple(results)
+    finally:
+        if pool is not None:
+            pool.shutdown()
+        with _context_lock:
+            _STAB_CONTEXT.pop(token, None)
+        for segment in segments:
+            segment.dispose()

@@ -107,6 +107,13 @@ left-rank block (64).  Short segments keep the lock-step merge shallow
 — measured fastest around 512 for streams near 10⁶ accesses."""
 
 
+def _sharding_available() -> bool:
+    """Whether ``workers > 0`` can actually shard (fork platforms)."""
+    from .shard import fork_available
+
+    return fork_available()
+
+
 def simulate_sweep(
     desc: TreeDescription,
     workload,
@@ -123,8 +130,15 @@ def simulate_sweep(
     registry: MetricsRegistry | None = None,
     accel: str = "auto",
     max_threads: int = _MAX_SWEEP_THREADS,
+    workers: int = 0,
 ) -> tuple[SimulationResult, ...]:
     """Simulate every buffer size in one pass over one query stream.
+
+    This is the engine behind every buffer-sensitivity curve of the
+    paper — Fig. 6 (buffer size vs. disk accesses), Fig. 9 (loader
+    comparison) and Fig. 11 (pinning levels), plus the Table 1 probes
+    and the analytic-model validation — all of which sweep the same
+    workload over many buffer capacities.
 
     Returns one :class:`~repro.simulation.SimulationResult` per entry
     of ``buffer_sizes`` (in order), each bit-exact against the result
@@ -132,6 +146,15 @@ def simulate_sweep(
     parameters and that single buffer size: identical per-batch
     :class:`~repro.buffer.BufferStats`, batch-means estimates, warm-up
     counts and ``buffer_filled`` flags.
+
+    **Determinism guarantee.**  For a fixed ``(workload, seed)`` the
+    returned tuple is a pure function of the simulation parameters:
+    it does not depend on ``max_threads``, on ``workers``, on the
+    ``accel`` backend, or on how the OS schedules threads or worker
+    processes.  Every internal split is over contiguous stream ranges
+    merged in range order, and every floating-point reduction runs on
+    one code path from identical integer counts (see
+    ``docs/PARALLELISM.md`` for the argument, phase by phase).
 
     Parameters mirror :func:`~repro.simulation.simulate`, except:
 
@@ -145,9 +168,15 @@ def simulate_sweep(
         per-capacity affair — use :func:`~repro.simulation.simulate`
         (e.g. the metrics probes) when you need ``level_stats``.
     max_threads:
-        Worker threads shared by every phase of the pass — stabbing
-        the measurement tail, the segmented left-rank kernel, and
-        per-capacity accounting.  Results never depend on it.
+        Worker threads shared by every phase of the in-process pass —
+        stabbing the measurement tail, the segmented left-rank kernel,
+        and per-capacity accounting.  Results never depend on it.
+    workers:
+        ``0`` (the default) runs the in-process path above.  ``>= 1``
+        shards the sweep across that many *processes* over shared
+        memory (:mod:`repro.simulation.shard`) — same results, no GIL.
+        Platforms without the ``fork`` start method, and the fallback
+        cases below, silently use the in-process path.
 
     Raises :class:`~repro.buffer.PinningError` when any swept size
     cannot hold the pinned levels — filter infeasible sizes first
@@ -167,6 +196,8 @@ def simulate_sweep(
         raise ValueError(
             f"unknown policy {policy!r}; choices: {sorted(POLICIES)}"
         )
+    if workers < 0:
+        raise ValueError("workers must be >= 0 (0 = in-process sweep)")
     if rng is not None and not isinstance(rng, (int, np.integer)):
         raise TypeError(
             "simulate_sweep needs a reproducible seed (int or None), not a "
@@ -198,6 +229,7 @@ def simulate_sweep(
         n_batches=n_batches,
         batch_size=batch_size,
         mode="fallback" if fallback else "stackdist",
+        workers=workers,
     )
     started = time.perf_counter_ns() if registry is not None else 0
     with root:
@@ -218,6 +250,25 @@ def simulate_sweep(
                     accel=accel,
                 )
                 for b in buffer_sizes
+            )
+        elif workers > 0 and _sharding_available():
+            # Deferred import: shard.py reuses this module's kernels
+            # (the RL008-sanctioned escape hatch for the back edge).
+            from .shard import sharded_sweep
+
+            results = sharded_sweep(
+                desc,
+                workload,
+                buffer_sizes,
+                pinned_count=pinned_count,
+                n_batches=n_batches,
+                batch_size=batch_size,
+                warmup_queries=warmup_queries,
+                warmup_cap=warmup_cap,
+                confidence=confidence,
+                seed=seed,
+                accel=accel,
+                workers=workers,
             )
         else:
             results = _stackdist_sweep(
@@ -321,8 +372,7 @@ def _generate_stream(
     warmup_cap: int,
     seed: int,
     accel: str,
-    pool: ThreadPoolExecutor | None = None,
-    workers: int = 1,
+    tail_stab=None,
 ) -> _Stream:
     """Sample and stab the shared query stream, chunk by chunk.
 
@@ -332,8 +382,13 @@ def _generate_stream(
     function of the *total* sample count only, so chunk boundaries
     never change the sampled stream — the contract the sweep's
     bit-exactness rests on.  It also lets the measurement tail sample
-    in one draw and stab contiguous point spans on the worker pool
-    (stabbers are stateless), reassembled in order.
+    in one draw and hand the points to ``tail_stab`` — a strategy
+    callable ``(stabber, points) -> iterable of sparse chunks`` that
+    may stab contiguous point spans on a thread pool or a process
+    pool (stabbers are stateless pure reads), as long as it yields
+    the chunks in stream order.  ``None`` stabs in one serial call.
+    Any order-preserving split produces the identical stream, so the
+    sampled/stabbed result never depends on the execution strategy.
     """
     transformed = workload.transformed_rects(desc.all_rects)
     budget = warmup_cap if warmup_queries is None else warmup_queries
@@ -379,14 +434,10 @@ def _generate_stream(
     remaining = target - generated
     if remaining > 0:
         points = workload.sample_points(remaining, rng)
-        if pool is None or remaining < 2 * _CHUNK:
+        if tail_stab is None:
             ingest(stabber.stab(points))
         else:
-            width = max(_CHUNK, -(-remaining // (2 * workers)))
-            cuts = range(0, remaining, width)
-            for sparse in pool.map(
-                lambda at: stabber.stab(points[at : at + width]), cuts
-            ):
+            for sparse in tail_stab(stabber, points):
                 ingest(sparse)
 
     all_lengths = np.concatenate(lengths)[:target]
@@ -538,6 +589,76 @@ def _warmup_for(
     return warmup_cap
 
 
+def _capacity_bounds(
+    stream: _Stream,
+    warmed: int,
+    n_batches: int,
+    batch_size: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batch boundaries of one capacity's measurement window.
+
+    Returns ``(batch_queries, access_bounds)``: the cumulative query
+    counts delimiting each batch and the matching unpinned-access
+    bounds — the only quantities the counting kernels need, shared
+    verbatim by the serial and sharded accounting paths.
+    """
+    batch_queries = warmed + batch_size * np.arange(
+        n_batches + 1, dtype=np.int64
+    )
+    access_bounds = np.searchsorted(stream.q_of_page, batch_queries, "left")
+    return batch_queries, access_bounds
+
+
+def _assemble_result(
+    stream: _Stream,
+    *,
+    capacity: int,
+    warmed: int,
+    batch_queries: np.ndarray,
+    miss_b: np.ndarray,
+    evict_b: np.ndarray,
+    resident: int,
+    batch_size: int,
+    confidence: float,
+) -> SimulationResult:
+    """Integer per-batch counts → one ``SimulationResult``.
+
+    The single float path of the sweep: both the serial counts and the
+    merged shard partials are exact int64 per-batch totals, so routing
+    them through this one function makes the two paths bit-identical
+    by construction.  ``resident`` is the distinct unpinned pages seen
+    before the first measured access (``ccold`` at the window start) —
+    the online buffer's resident count when ``is_full`` was last
+    checked.
+    """
+    req_b = stream.q_indptr[batch_queries[1:]] - stream.q_indptr[
+        batch_queries[:-1]
+    ]
+
+    snapshots = []
+    for requests, misses, evictions in zip(req_b, miss_b, evict_b):
+        stats = BufferStats()
+        stats.requests = int(requests)
+        stats.hits = int(requests - misses)
+        stats.misses = int(misses)
+        stats.evictions = int(evictions)
+        snapshots.append(stats)
+
+    filled = capacity <= 0 or resident >= capacity
+
+    return SimulationResult(
+        disk_accesses=batch_means(
+            [m / batch_size for m in miss_b], confidence=confidence
+        ),
+        node_accesses=batch_means(
+            [r / batch_size for r in req_b], confidence=confidence
+        ),
+        warmup_queries=warmed,
+        buffer_filled=filled,
+        batch_stats=tuple(snapshots),
+    )
+
+
 def _account_capacity(
     stream: _Stream,
     cold: np.ndarray,
@@ -560,12 +681,11 @@ def _account_capacity(
     unpinned area has zero capacity, where pages are read and
     discarded).
     """
-    batch_queries = warmed + batch_size * np.arange(
-        n_batches + 1, dtype=np.int64
+    batch_queries, access_bounds = _capacity_bounds(
+        stream, warmed, n_batches, batch_size
     )
     # Unpinned-access bounds of each batch, then exclusive prefix sums
     # -> exact integer per-batch counts.
-    access_bounds = np.searchsorted(stream.q_of_page, batch_queries, "left")
     lo, hi = access_bounds[0], access_bounds[-1]
     miss = cold[lo:hi] | (depth[lo:hi] >= capacity)
     if capacity > 0:
@@ -581,34 +701,16 @@ def _account_capacity(
     rel = access_bounds - lo
     miss_b = cmiss[rel[1:]] - cmiss[rel[:-1]]
     evict_b = cevict[rel[1:]] - cevict[rel[:-1]]
-    req_b = stream.q_indptr[batch_queries[1:]] - stream.q_indptr[
-        batch_queries[:-1]
-    ]
-
-    snapshots = []
-    for requests, misses, evictions in zip(req_b, miss_b, evict_b):
-        stats = BufferStats()
-        stats.requests = int(requests)
-        stats.hits = int(requests - misses)
-        stats.misses = int(misses)
-        stats.evictions = int(evictions)
-        snapshots.append(stats)
-
-    # Distinct unpinned pages seen during warm-up = ccold at the first
-    # measured access — exactly the online buffer's resident count
-    # when ``is_full`` was last checked.
-    filled = capacity <= 0 or int(ccold[lo]) >= capacity
-
-    return SimulationResult(
-        disk_accesses=batch_means(
-            [m / batch_size for m in miss_b], confidence=confidence
-        ),
-        node_accesses=batch_means(
-            [r / batch_size for r in req_b], confidence=confidence
-        ),
-        warmup_queries=warmed,
-        buffer_filled=filled,
-        batch_stats=tuple(snapshots),
+    return _assemble_result(
+        stream,
+        capacity=capacity,
+        warmed=warmed,
+        batch_queries=batch_queries,
+        miss_b=miss_b,
+        evict_b=evict_b,
+        resident=int(ccold[lo]),
+        batch_size=batch_size,
+        confidence=confidence,
     )
 
 
@@ -633,6 +735,18 @@ def _stackdist_sweep(
 
     workers = max(1, max_threads)
     pool = ThreadPoolExecutor(max_workers=workers) if workers > 1 else None
+
+    def tail_stab(stabber, points):
+        """Thread-pooled span stabbing, reassembled in stream order."""
+        remaining = points.shape[0]
+        if pool is None or remaining < 2 * _CHUNK:
+            return [stabber.stab(points)]
+        width = max(_CHUNK, -(-remaining // (2 * workers)))
+        cuts = range(0, remaining, width)
+        return pool.map(
+            lambda at: stabber.stab(points[at : at + width]), cuts
+        )
+
     try:
         with span("stackdist.stream") as stream_span:
             stream = _generate_stream(
@@ -645,8 +759,7 @@ def _stackdist_sweep(
                 warmup_cap=warmup_cap,
                 seed=seed,
                 accel=accel,
-                pool=pool,
-                workers=workers,
+                tail_stab=tail_stab,
             )
             stream_span.set_attrs(
                 queries=stream.n_queries,

@@ -198,3 +198,53 @@ class TestStatisticalAgreement:
             n_batches=2, batch_size=300, policy=policy,
         )
         assert 0 <= result.disk_accesses.mean <= result.node_accesses.mean
+
+
+class TestStabberWorkHint:
+    """``simulate`` hints the stabber with its total probe budget.
+
+    A fig6-sized run probes a few hundred nodes millions of times —
+    the grid index wins even though the tree is far below the
+    rect-count threshold.  The hint is speed-only: backends are
+    bit-exact, so which one is picked never changes results.
+    """
+
+    def _backend(self, workload=None, **kwargs):
+        from repro.obs import Tracer, use_tracer
+
+        tracer = Tracer()
+        previous = use_tracer(tracer)
+        try:
+            simulate(
+                tiny_description(),
+                workload or UniformPointWorkload(),
+                buffer_size=3,
+                n_batches=2,
+                batch_size=100,
+                **kwargs,
+            )
+        finally:
+            use_tracer(previous)
+        (root,) = [s for s in tracer.finished() if s.name == "simulate"]
+        return root.attrs["backend"]
+
+    def test_large_probe_budget_promotes_grid(self):
+        # 3 nodes x a 2M-query budget crosses _DENSE_MAX_WORK; the
+        # warm-up still ends after 3 misses, so the run stays fast.
+        assert self._backend(warmup_cap=2_000_000) == "GridStabbingIndex"
+
+    def test_small_budget_stays_dense(self):
+        assert self._backend(warmup_queries=200) == "DenseStabber"
+
+    def test_hint_reaches_mixed_components(self):
+        from repro.queries import MixedWorkload
+
+        mixed = MixedWorkload(
+            [
+                (0.5, UniformPointWorkload()),
+                (0.5, UniformRegionWorkload((0.1, 0.1))),
+            ]
+        )
+        assert (
+            self._backend(mixed, warmup_cap=2_000_000) == "GridStabbingIndex"
+        )

@@ -1,0 +1,221 @@
+"""The sharded sweep: bit-exact against the in-process path.
+
+The process-pool path's entire contract (``docs/PARALLELISM.md``) is
+that ``workers >= 1`` is an *execution* choice, never a model change:
+for every workload, warm-up mode and pinning level the sharded sweep
+must reproduce the ``workers=0`` results bit for bit, for any worker
+count.  The matrix here exercises exactly that, plus the shared-memory
+plumbing (:class:`SharedArray` ownership, :class:`WriteGrant` slice
+views, the deterministic shard plan) and the per-shard worker spans.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.obs import Tracer, chrome_trace, use_tracer
+from repro.packing import pack_description
+from repro.queries import UniformPointWorkload, UniformRegionWorkload
+from repro.simulation import simulate_sweep
+from repro.simulation.shard import (
+    SharedArray,
+    ShmSpec,
+    WriteGrant,
+    attach_readonly,
+    fork_available,
+    plan_shards,
+)
+from tests.conftest import random_rects
+from tests.simulation.test_stackdist import assert_results_identical
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="sharded sweep needs the fork start method"
+)
+
+_RECTS = random_rects(np.random.default_rng(23), 900, max_side=0.03)
+_DESC = pack_description(_RECTS, capacity=16, ordering="hs")
+
+_SERIAL_CACHE: dict[str, tuple] = {}
+
+
+def _serial_for(case_id: str, workload, common: dict) -> tuple:
+    if case_id not in _SERIAL_CACHE:
+        _SERIAL_CACHE[case_id] = simulate_sweep(_DESC, workload, **common)
+    return _SERIAL_CACHE[case_id]
+
+
+class TestBitExactAgainstSerial:
+    # workers × warm-up modes × pinning: every cell must match the
+    # workers=0 tuple per-field (BufferStats compares by identity).
+    CASES = [
+        (
+            "warm-until-full",
+            UniformPointWorkload(),
+            dict(buffer_sizes=(1, 3, 11, 45), warmup_cap=4096),
+        ),
+        (
+            "pinned-explicit-warmup",
+            UniformRegionWorkload((0.08, 0.08)),
+            dict(
+                buffer_sizes=(2, 9, 40), pinned_levels=1, warmup_queries=500
+            ),
+        ),
+        (
+            "zero-warmup",
+            UniformPointWorkload(),
+            dict(buffer_sizes=(4, 19), warmup_queries=0),
+        ),
+    ]
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize(
+        "case_id, workload, kwargs",
+        CASES,
+        ids=[c[0] for c in CASES],
+    )
+    def test_matches_in_process_sweep(self, case_id, workload, kwargs, workers):
+        common = dict(n_batches=3, batch_size=200, rng=5, **kwargs)
+        serial = _serial_for(case_id, workload, common)
+        sharded = simulate_sweep(_DESC, workload, workers=workers, **common)
+        assert len(sharded) == len(serial)
+        for a, b in zip(sharded, serial):
+            assert_results_identical(a, b)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            simulate_sweep(
+                _DESC, UniformPointWorkload(), (4,), workers=-1
+            )
+
+
+class TestShardPlan:
+    def test_covers_range_without_gaps(self):
+        spans = plan_shards(1000, 3)
+        assert spans[0][0] == 0
+        assert spans[-1][1] == 1000
+        for (_, a_hi), (b_lo, _) in zip(spans, spans[1:]):
+            assert a_hi == b_lo
+
+    def test_alignment_respected(self):
+        spans = plan_shards(10_000, 7, align=512)
+        for lo, hi in spans[:-1]:
+            assert lo % 512 == 0
+            assert hi % 512 == 0
+        assert spans[-1][1] == 10_000
+
+    def test_empty_and_degenerate(self):
+        assert plan_shards(0, 4) == []
+        assert plan_shards(5, 100) == [(i, i + 1) for i in range(5)]
+        assert plan_shards(5, 1) == [(0, 5)]
+
+    def test_deterministic(self):
+        assert plan_shards(9999, 4, align=64) == plan_shards(
+            9999, 4, align=64
+        )
+
+
+class TestSharedArray:
+    def test_create_grant_write_read_dispose(self):
+        arr = SharedArray.create(100, np.int64)
+        try:
+            assert arr.owner
+            assert arr.created_pid == os.getpid()
+            assert isinstance(arr.spec, ShmSpec)
+            grant = arr.grant(10, 20)
+            assert isinstance(grant, WriteGrant)
+            view = grant.writable()
+            assert view.shape == (10,)
+            view[:] = np.arange(10)
+            # The write landed at [10, 20) of the owner's full view.
+            assert np.array_equal(arr.array[10:20], np.arange(10))
+            assert np.all(arr.array[:10] == 0)
+            assert np.all(arr.array[20:] == 0)
+            arr.release_grants()
+        finally:
+            arr.dispose()
+
+    def test_grant_bounds_validated(self):
+        arr = SharedArray.create(10, np.int64)
+        try:
+            for lo, hi in [(-1, 5), (0, 11), (7, 3)]:
+                with pytest.raises(ValueError):
+                    arr.grant(lo, hi)
+        finally:
+            arr.dispose()
+
+    def test_writable_view_cannot_reach_outside_grant(self):
+        # The view *is* the slice: its buffer spans exactly hi - lo
+        # items, so there is no index that lands outside the grant.
+        arr = SharedArray.create(50, np.int64)
+        try:
+            view = arr.grant(20, 30).writable()
+            assert view.size == 10
+            with pytest.raises(IndexError):
+                view[10] = 1
+        finally:
+            arr.dispose()
+
+    def test_attach_readonly_is_readonly(self):
+        arr = SharedArray.create(8, np.int64)
+        try:
+            arr.array[:] = np.arange(8)
+            ro = attach_readonly(arr.spec)
+            assert np.array_equal(ro, np.arange(8))
+            with pytest.raises(ValueError):
+                ro[0] = 99
+        finally:
+            arr.dispose()
+
+    def test_zero_length_segment(self):
+        arr = SharedArray.create(0, np.int64)
+        try:
+            assert arr.array.shape == (0,)
+        finally:
+            arr.dispose()
+
+
+class TestShardSpans:
+    def test_worker_spans_replayed_deterministically(self):
+        tracer = Tracer()
+        previous = use_tracer(tracer)
+        try:
+            simulate_sweep(
+                _DESC,
+                UniformPointWorkload(),
+                (2, 8, 33),
+                n_batches=2,
+                batch_size=150,
+                warmup_queries=200,
+                rng=1,
+                workers=2,
+            )
+        finally:
+            use_tracer(previous)
+        finished = tracer.finished()
+        (root,) = [s for s in finished if s.name == "simulate.sweep"]
+        assert root.attrs["mode"] == "stackdist"
+        assert root.attrs["workers"] == 2
+        shard_spans = [s for s in finished if s.name == "stackdist.shard"]
+        # prev, distances and account each fan out to 2 workers (the
+        # stream is too short to shard its stab phase).
+        phases = {s.attrs["phase"] for s in shard_spans}
+        assert phases == {"prev", "distances", "account"}
+        for phase in phases:
+            assert sum(s.attrs["phase"] == phase for s in shard_spans) == 2
+        # Worker spans carry real worker pids, not the parent's.
+        pids = {s.attrs["pid"] for s in shard_spans}
+        assert os.getpid() not in pids
+        # Replay order is shard order: span ids are a dense range.
+        assert sorted(s.span_id for s in finished) == list(
+            range(len(finished))
+        )
+        # Worker lanes densify like thread lanes and export cleanly.
+        payload = chrome_trace(finished)
+        tids = {
+            e["tid"] for e in payload["traceEvents"] if e.get("ph") == "X"
+        }
+        assert tids == {s.thread_index for s in finished}
+        assert all(s.end_ns >= s.start_ns for s in shard_spans)
