@@ -19,7 +19,17 @@ oracles on the two compute-dominant paths of the reproduction:
   vs the in-process single-pass sweep as baseline, asserted
   bit-exact.  ``speedup_vs_dense`` here is parallel-vs-serial; it
   tracks the host's core count (a 1-CPU container honestly reports
-  < 1x — the pool only adds fork and IPC overhead there).
+  < 1x — the pool only adds fork and IPC overhead there);
+* ``serving_throughput`` — the serving engine's micro-batched
+  admission (:class:`repro.serving.QueryService`, ``max_batch=4096``)
+  vs the naive per-query loop (``max_batch=0``: one stab call per
+  query) over identical points, asserted to produce identical buffer
+  counters.  ``speedup_vs_dense`` is the batching amortization — the
+  PR's gated >= 10x claim at 100k queries;
+* ``serving_latency_p99`` — saturation-mode tail latency: every query
+  "arrives" at t0 and ``seconds`` is the batched p99 (so
+  ``ops_per_s`` is the achieved drain rate), ``dense_seconds`` the
+  per-query-loop p99 over the same points.
 
 The report is a machine-readable JSON file (schema ``repro-bench/1``,
 see :data:`RECORD_FIELDS` and ``docs/PERFORMANCE.md``) written to the
@@ -63,6 +73,7 @@ from repro.obs.history import (
 )
 from repro.packing import pack_description
 from repro.queries import UniformPointWorkload
+from repro.serving import QueryService
 from repro.simulation import simulate, simulate_sweep
 
 __all__ = [
@@ -351,6 +362,103 @@ def _bench_probe_throughput(
     )
 
 
+def _serving_pair(
+    rng: np.random.Generator, n_rects: int, n_queries: int
+):
+    """Two services over one tree — batched and per-query — plus points.
+
+    Both run the same LRU pool (K=1) over the same point sequence, so
+    their buffer counters must match exactly; the callers assert it.
+    """
+    rects = _node_like_rects(rng, n_rects)
+    capacity = 100 if n_rects >= 20_000 else 25
+    desc = pack_description(rects, capacity, "hs")
+    workload = UniformPointWorkload()
+    buffer_size = max(2, desc.total_nodes // 5)
+    points = workload.sample_points(n_queries, rng)
+    batched = QueryService(
+        desc, workload, buffer_size,
+        max_batch=4096, expected_queries=n_queries,
+    )
+    naive = QueryService(
+        desc, workload, buffer_size,
+        max_batch=0, expected_queries=n_queries,
+    )
+    return batched, naive, points
+
+
+def _bench_serving_throughput(
+    rng: np.random.Generator, n_rects: int, n_queries: int
+) -> dict:
+    """Micro-batched admission vs the naive per-query serving loop."""
+    batched, naive, points = _serving_pair(rng, n_rects, n_queries)
+
+    started = time.perf_counter()
+    batched.process(points)
+    seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    naive.process(points)
+    dense_seconds = time.perf_counter() - started
+
+    if (
+        batched.aggregate_stats().as_dict()
+        != naive.aggregate_stats().as_dict()
+    ):
+        raise AssertionError(
+            "batched serving buffer counters diverged from the "
+            "per-query loop"
+        )
+    return _record(
+        "serving_throughput",
+        n_rects,
+        n_queries,
+        seconds,
+        dense_seconds,
+        ops=n_queries,
+        unit="queries/s",
+    )
+
+
+def _bench_serving_latency(
+    rng: np.random.Generator, n_rects: int, n_queries: int
+) -> dict:
+    """Saturation p99: all queries arrive at t0, measure the tail.
+
+    ``seconds`` is the batched p99 itself (so ``ops_per_s`` reads as
+    the achieved drain rate at the tail) and ``dense_seconds`` the
+    per-query loop's p99 — ``speedup_vs_dense`` is the tail-latency
+    improvement batching buys under saturation.
+    """
+    batched, naive, points = _serving_pair(rng, n_rects, n_queries)
+
+    arrivals = np.full(n_queries, time.perf_counter_ns(), dtype=np.int64)
+    batched.process(points, arrivals_ns=arrivals)
+    p99_batched = batched.latency.percentile_us(99) / 1e6
+
+    arrivals = np.full(n_queries, time.perf_counter_ns(), dtype=np.int64)
+    naive.process(points, arrivals_ns=arrivals)
+    p99_naive = naive.latency.percentile_us(99) / 1e6
+
+    if (
+        batched.aggregate_stats().as_dict()
+        != naive.aggregate_stats().as_dict()
+    ):
+        raise AssertionError(
+            "batched serving buffer counters diverged from the "
+            "per-query loop"
+        )
+    return _record(
+        "serving_latency_p99",
+        n_rects,
+        n_queries,
+        p99_batched,
+        p99_naive,
+        ops=n_queries,
+        unit="queries/s",
+    )
+
+
 def _record(
     kernel: str,
     n_rects: int,
@@ -382,6 +490,8 @@ _FULL_SIZES = {
     "stack_sweep": (50_000, 200_000),
     "probe_throughput": (50_000, 20_000),
     "sweep_parallel": (50_000, 200_000),
+    "serving_throughput": (50_000, 100_000),
+    "serving_latency": (50_000, 20_000),
 }
 
 _SMOKE_SIZES = {
@@ -391,6 +501,8 @@ _SMOKE_SIZES = {
     "stack_sweep": (4_000, 10_000),
     "probe_throughput": (4_000, 2_000),
     "sweep_parallel": (4_000, 10_000),
+    "serving_throughput": (4_000, 5_000),
+    "serving_latency": (4_000, 2_000),
 }
 
 
@@ -405,6 +517,8 @@ def build_report(seed: int = 0, smoke: bool = False) -> dict:
         _bench_stack_distance_sweep(rng, *sizes["stack_sweep"]),
         _bench_probe_throughput(rng, *sizes["probe_throughput"]),
         _bench_sweep_parallel(rng, *sizes["sweep_parallel"]),
+        _bench_serving_throughput(rng, *sizes["serving_throughput"]),
+        _bench_serving_latency(rng, *sizes["serving_latency"]),
     ]
     return {
         "schema": SCHEMA,

@@ -71,8 +71,9 @@ class Config:
         "model -> accel buffer geometry obs rtree",
         "queries -> accel geometry model",
         "simulation -> accel buffer model obs queries rtree",
+        "serving -> buffer obs queries rtree simulation",
         "experiments -> buffer datasets geometry model obs packing "
-        "queries rtree simulation",
+        "queries rtree serving simulation",
     )
     """Allowed package-level import edges for RL008."""
 

@@ -21,6 +21,16 @@ Mechanics:
   threads, so affinity is the wrong check.  Instead the tracer's
   shared containers (``_finished``, ``_threads``) are replaced with
   guards that assert ``self._lock`` is held during every mutation.
+* **Lock guards** (sharded pool): a
+  :class:`~repro.buffer.sharded.ShardedBufferPool` hands each shard's
+  plain pool to *many* threads by design — the shard lock, not thread
+  affinity, is the synchronization statement.  :func:`guard`
+  registers a lock as an object's guard; every subsequent mutation
+  check requires that lock to be held instead of checking affinity.
+  ``ShardedBufferPool.__init__`` is patched to register each shard's
+  pool and stats with the shard's lock, so reaching around the
+  sharded pool into ``_pools[s]`` without holding ``_locks[s]``
+  raises at the exact ``request()``/counter write.
 * **Grant discipline** (shared memory): the sharded sweep's
   :class:`~repro.simulation.shard.SharedArray` hands workers
   :class:`~repro.simulation.shard.WriteGrant` slices.  Two grants
@@ -56,6 +66,7 @@ __all__ = [
     "SanitizerError",
     "adopt",
     "enabled_by_env",
+    "guard",
     "install",
     "is_installed",
     "uninstall",
@@ -65,6 +76,7 @@ ENV_FLAG = "REPRO_SANITIZE"
 
 _owner_lock = threading.Lock()
 _owners: dict[int, int] = {}
+_guards: dict[int, threading.Lock] = {}
 _saved: list[tuple[type, str, Any]] = []
 _installed = False
 
@@ -88,20 +100,48 @@ def adopt(obj: object) -> None:
 
     The explicit hand-off for legitimate single-owner migrations
     (build on the main thread, then give the object to a worker).
+    Clears any lock guard: adoption reverts to thread affinity.
     """
     with _owner_lock:
+        _guards.pop(id(obj), None)
         _owners[id(obj)] = threading.get_ident()
+
+
+def guard(obj: object, lock: threading.Lock) -> None:
+    """Declare ``lock`` the guard of ``obj``.
+
+    From now on mutations of ``obj`` are legal from *any* thread as
+    long as ``lock`` is held at the moment of the write — the check
+    for objects shared by design (a sharded pool's per-shard pools
+    and stats).  Replaces any thread-affinity stamp.
+    """
+    with _owner_lock:
+        _owners.pop(id(obj), None)
+        _guards[id(obj)] = lock
 
 
 def _stamp(obj: object) -> None:
     with _owner_lock:
+        # drop a stale guard left by a freed object that reused this id
+        _guards.pop(id(obj), None)
         _owners[id(obj)] = threading.get_ident()
 
 
 def _check_owner(obj: object, action: str) -> None:
     me = threading.get_ident()
     with _owner_lock:
-        owner = _owners.setdefault(id(obj), me)
+        lock = _guards.get(id(obj))
+        owner = None if lock is not None else _owners.setdefault(id(obj), me)
+    if lock is not None:
+        if not lock.locked():
+            raise SanitizerError(
+                f"unguarded {action}: {type(obj).__name__} is "
+                "registered to a guard lock that is not held — "
+                "acquire the shard's lock (or go through "
+                "ShardedBufferPool.request) instead of touching the "
+                "shard directly"
+            )
+        return
     if owner != me:
         raise SanitizerError(
             f"unsynchronized cross-thread {action}: "
@@ -276,17 +316,41 @@ def _patch_shard(cls: type) -> None:
     cls.dispose = dispose  # type: ignore[assignment]
 
 
+def _patch_sharded(cls: type) -> None:
+    """Register every shard's pool and stats with the shard's lock.
+
+    Runs *after* the sharded pool's own ``__init__`` (which builds the
+    shard pools — each freshly affinity-stamped by the patched
+    ``BufferPool.__init__``) and converts them to lock-guarded:
+    mutating a shard from any thread is legal exactly while its lock
+    is held, which is what ``ShardedBufferPool.request`` guarantees.
+    """
+    original: Callable = cls.__init__
+    _save(cls, "__init__")
+
+    def __init__(self: Any, *args: Any, **kwargs: Any) -> None:
+        original(self, *args, **kwargs)
+        for pool, lock in zip(self._pools, self._locks):
+            guard(pool, lock)
+            guard(pool.stats, lock)
+
+    __init__.__wrapped__ = original  # type: ignore[attr-defined]
+    cls.__init__ = __init__  # type: ignore[misc]
+
+
 def install() -> None:
     """Patch the runtime classes in place (idempotent)."""
     global _installed
     if _installed:
         return
     from repro.buffer.base import BufferPool, BufferStats
+    from repro.buffer.sharded import ShardedBufferPool
     from repro.obs.spans import Tracer
     from repro.simulation.shard import SharedArray
 
     _patch_stats(BufferStats)
     _patch_pool(BufferPool)
+    _patch_sharded(ShardedBufferPool)
     _patch_tracer(Tracer)
     _patch_shard(SharedArray)
     _installed = True
@@ -307,4 +371,5 @@ def uninstall() -> None:
     _saved.clear()
     with _owner_lock:
         _owners.clear()
+        _guards.clear()
     _installed = False

@@ -5,6 +5,7 @@ from __future__ import annotations
 from .base import BufferPool, BufferStats, PinningError
 from .lru import LRUBuffer
 from .policies import POLICIES, ClockBuffer, FIFOBuffer, RandomBuffer
+from .sharded import ShardedBufferPool
 
 __all__ = [
     "BufferPool",
@@ -15,4 +16,5 @@ __all__ = [
     "PinningError",
     "POLICIES",
     "RandomBuffer",
+    "ShardedBufferPool",
 ]

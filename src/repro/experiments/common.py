@@ -14,6 +14,12 @@ so the validation experiments can be scaled up toward the paper's
 * ``REPRO_DATASET_MMAP`` (a directory: cache generated data sets as
   memory-mapped ``.npy`` files there and serve them zero-copy, so
   sweep worker processes share one page-cache copy per data set)
+* ``REPRO_PROBE_BATCHES`` / ``REPRO_PROBE_QUERIES`` (defaults 5 /
+  2,000: the smoke-sized budget every ``--metrics-out`` probe runs
+  with — one definition here instead of one per probe entry point)
+* ``REPRO_SERVE_SHARDS`` (default 1: buffer shards K for the serving
+  probes; K=1 reproduces the batch simulator bit-exactly, see
+  ``docs/SERVING.md``)
 """
 
 from __future__ import annotations
@@ -40,6 +46,8 @@ __all__ = [
     "Table",
     "get_dataset",
     "get_description",
+    "probe_budget",
+    "serve_shards",
     "sim_batches",
     "sim_queries_per_batch",
     "sim_workers",
@@ -62,6 +70,31 @@ def sim_queries_per_batch() -> int:
 def sim_workers() -> int:
     """Worker processes for sweep simulations (0 = in-process)."""
     return int(os.environ.get("REPRO_SIM_WORKERS", "0"))
+
+
+def probe_budget() -> tuple[int, int]:
+    """``(n_batches, batch_size)`` for ``--metrics-out`` probes.
+
+    The one definition of the smoke-sized probe budget: every probe
+    entry point (:mod:`repro.experiments.probes`) resolves its default
+    budget here instead of re-deriving it, so scaling probes up means
+    setting ``REPRO_PROBE_BATCHES`` / ``REPRO_PROBE_QUERIES`` once.
+    """
+    n_batches = int(os.environ.get("REPRO_PROBE_BATCHES", "5"))
+    batch_size = int(os.environ.get("REPRO_PROBE_QUERIES", "2000"))
+    if n_batches < 2:
+        raise ValueError("REPRO_PROBE_BATCHES must be >= 2 (batch means)")
+    if batch_size < 1:
+        raise ValueError("REPRO_PROBE_QUERIES must be positive")
+    return n_batches, batch_size
+
+
+def serve_shards() -> int:
+    """Buffer shards K for serving probes (default 1 = paper-exact)."""
+    shards = int(os.environ.get("REPRO_SERVE_SHARDS", "1"))
+    if shards < 1:
+        raise ValueError("REPRO_SERVE_SHARDS must be >= 1")
+    return shards
 
 
 def _generate_dataset(name: str, n: int | None) -> RectArray:

@@ -27,19 +27,40 @@ from ..queries import (
     UniformPointWorkload,
     UniformRegionWorkload,
 )
+from ..serving import LoadGenerator, LoadReport, QueryService
 from ..simulation import SimulationResult, simulate, simulate_sweep
-from .common import get_dataset, get_description, sim_workers
+from .common import (
+    get_dataset,
+    get_description,
+    probe_budget,
+    serve_shards,
+    sim_workers,
+)
 
 __all__ = [
     "METRICS_PROBES",
     "ProbeSpec",
+    "SERVE_PROBES",
+    "ServeProbeSpec",
     "SWEEP_PROBES",
     "SweepProbeSpec",
     "run_probe",
+    "run_serve_probe",
     "run_sweep_probe",
 ]
 
 WorkloadFactory = Callable[[RectArray], object]
+
+
+def _resolve_budget(
+    n_batches: int | None, batch_size: int | None
+) -> tuple[int, int]:
+    """Fill unset probe-budget halves from the shared env knobs."""
+    default_batches, default_size = probe_budget()
+    return (
+        default_batches if n_batches is None else n_batches,
+        default_size if batch_size is None else batch_size,
+    )
 
 
 def _point(data: RectArray) -> object:
@@ -168,8 +189,8 @@ def run_probe(
     spec: ProbeSpec,
     registry: MetricsRegistry,
     *,
-    n_batches: int = 5,
-    batch_size: int = 2000,
+    n_batches: int | None = None,
+    batch_size: int | None = None,
     trace_last: int = 8,
 ) -> tuple[SimulationResult, dict[str, Any]]:
     """Run one instrumented probe simulation.
@@ -179,7 +200,10 @@ def run_probe(
     probe-configuration mapping destined for the document's
     ``simulation.probe`` field.  Deterministic: the simulator's
     default seed and the cached data sets pin every random stream.
+    The default budget is :func:`~repro.experiments.common.
+    probe_budget` (``REPRO_PROBE_BATCHES`` / ``REPRO_PROBE_QUERIES``).
     """
+    n_batches, batch_size = _resolve_budget(n_batches, batch_size)
     try:
         factory = _WORKLOAD_FACTORIES[spec.workload]
     except KeyError:
@@ -210,8 +234,8 @@ def run_sweep_probe(
     spec: SweepProbeSpec,
     registry: MetricsRegistry | None = None,
     *,
-    n_batches: int = 5,
-    batch_size: int = 2000,
+    n_batches: int | None = None,
+    batch_size: int | None = None,
     workers: int | None = None,
 ) -> tuple[tuple[SimulationResult, ...], dict[str, Any]]:
     """Run one multi-capacity sweep probe in a single offline pass.
@@ -221,8 +245,10 @@ def run_sweep_probe(
     document's ``sweep.probe`` field.  Deterministic: the sweep's
     default seed and the cached data sets pin every random stream,
     and the worker count (``None`` honours ``REPRO_SIM_WORKERS``)
-    never changes a single byte of the results.
+    never changes a single byte of the results.  The default budget is
+    :func:`~repro.experiments.common.probe_budget`.
     """
+    n_batches, batch_size = _resolve_budget(n_batches, batch_size)
     try:
         factory = _WORKLOAD_FACTORIES[spec.workload]
     except KeyError:
@@ -248,3 +274,145 @@ def run_sweep_probe(
     probe["n_batches"] = n_batches
     probe["batch_size"] = batch_size
     return results, probe
+
+
+@dataclass(frozen=True)
+class ServeProbeSpec:
+    """Configuration of one experiment's *serving* probe.
+
+    An open-loop load test through :class:`~repro.serving.
+    QueryService`: a seeded Poisson (or uniform) arrival schedule at
+    ``rate_qps`` plays ``n_queries`` queries against the experiment's
+    tree/workload/buffer configuration, and the resulting latency
+    percentiles, throughput and shard-reconciled buffer counters
+    populate the document's ``serving`` section.  Unlike the batch
+    probes, wall-clock quantities here are real measurements on the
+    host — only the arrival schedule, the query points and the buffer
+    counters are deterministic.
+    """
+
+    dataset: str
+    n: int | None
+    capacity: int
+    loader: str
+    workload: str
+    buffer_size: int
+    pinned_levels: int = 0
+    rate_qps: float = 5000.0
+    n_queries: int = 4000
+    max_batch: int = 1024
+    max_wait_us: float = 500.0
+    arrivals: str = "poisson"
+    zipf_keys: int = 0
+    """> 0: draw queries Zipf(1.1)-keyed over this many of the data
+    set's rectangle centres ("millions of users" skew) instead of the
+    workload sampler."""
+
+    def as_dict(self) -> dict[str, Any]:
+        """The spec as the document's ``serving.probe`` mapping."""
+        return {
+            "dataset": self.dataset,
+            "n": self.n,
+            "capacity": self.capacity,
+            "loader": self.loader,
+            "workload": self.workload,
+            "buffer_size": self.buffer_size,
+            "pinned_levels": self.pinned_levels,
+            "rate_qps": self.rate_qps,
+            "n_queries": self.n_queries,
+            "max_batch": self.max_batch,
+            "max_wait_us": self.max_wait_us,
+            "arrivals": self.arrivals,
+            "zipf_keys": self.zipf_keys,
+        }
+
+
+SERVE_PROBES: dict[str, ServeProbeSpec] = {
+    "fig6": ServeProbeSpec(
+        "tiger", None, 100, "hs", "uniform-region-1pct", 100
+    ),
+    "fig9": ServeProbeSpec(
+        "region", 25_000, 100, "hs", "uniform-point", 300
+    ),
+    "fig10": ServeProbeSpec(
+        "point", 80_000, 25, "hs", "uniform-point", 500, 3,
+        zipf_keys=10_000,
+    ),
+}
+"""Serving probes for the buffer-sensitive experiments: fig6/fig9
+replay their batch probes' configurations as live traffic; fig10 adds
+the Zipfian-keyed hot-set skew over pinned levels."""
+
+
+def run_serve_probe(
+    spec: ServeProbeSpec,
+    registry: MetricsRegistry | None = None,
+    *,
+    shards: int | None = None,
+    workers: int = 1,
+) -> tuple[LoadReport, dict[str, Any]]:
+    """Run one open-loop serving probe.
+
+    Builds a :class:`~repro.serving.QueryService` over the
+    experiment's cached tree, starts it, plays the spec's seeded
+    arrival schedule through a :class:`~repro.serving.LoadGenerator`,
+    and returns the :class:`~repro.serving.LoadReport` plus the
+    probe-configuration mapping for the document's ``serving.probe``
+    field.  ``shards=None`` honours ``REPRO_SERVE_SHARDS`` (default 1
+    — the paper-exact single buffer).
+    """
+    try:
+        factory = _WORKLOAD_FACTORIES[spec.workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown probe workload {spec.workload!r}; "
+            f"choices: {sorted(_WORKLOAD_FACTORIES)}"
+        ) from None
+    if shards is None:
+        shards = serve_shards()
+    data = get_dataset(spec.dataset, spec.n)
+    desc = get_description(spec.dataset, spec.n, spec.capacity, spec.loader)
+    workload = factory(data)
+    service = QueryService(
+        desc,
+        workload,
+        spec.buffer_size,
+        shards=shards,
+        max_batch=spec.max_batch,
+        max_wait_us=spec.max_wait_us,
+        pinned_levels=spec.pinned_levels,
+        expected_queries=spec.n_queries,
+    )
+    key_points = None
+    if spec.zipf_keys > 0:
+        # Popularity ranks over the first zipf_keys data-rectangle
+        # centres: deterministic, in the workload's stab space (point
+        # workloads stab the unit square directly).
+        key_points = data.centers()[: spec.zipf_keys]
+    generator = LoadGenerator(
+        service,
+        rate_qps=spec.rate_qps,
+        n_queries=spec.n_queries,
+        arrivals=spec.arrivals,
+        key_points=key_points,
+    )
+    service.start(workers=workers)
+    try:
+        report = generator.run()
+    finally:
+        service.stop()
+    if registry is not None:
+        registry.counter("serving.queries").inc(report.queries)
+        registry.counter("serving.batches").inc(report.batches)
+        registry.counter("serving.misses").inc(
+            report.buffer_aggregate["misses"]
+        )
+        registry.gauge("serving.shards").set(report.shards)
+        registry.gauge("serving.throughput_qps").set(report.throughput_qps)
+        registry.gauge("serving.p99_us").set(
+            report.latency_summary_us["p99"]
+        )
+    probe = spec.as_dict()
+    probe["shards"] = shards
+    probe["workers"] = workers
+    return report, probe

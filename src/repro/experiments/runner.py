@@ -33,6 +33,7 @@ from ..obs import (
     Tracer,
     experiment_document,
     metrics_report,
+    serving_section,
     simulation_section,
     span,
     sweep_section,
@@ -42,7 +43,14 @@ from ..obs import (
     write_report,
 )
 from . import fig5, fig6, fig7, fig8, fig9, fig10, fig11, table1, table2
-from .probes import METRICS_PROBES, SWEEP_PROBES, run_probe, run_sweep_probe
+from .probes import (
+    METRICS_PROBES,
+    SERVE_PROBES,
+    SWEEP_PROBES,
+    run_probe,
+    run_serve_probe,
+    run_sweep_probe,
+)
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -115,6 +123,17 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--serve",
+        action="store_true",
+        help=(
+            "additionally run each experiment's open-loop serving "
+            "probe (Poisson load through the query service; shard "
+            "count from REPRO_SERVE_SHARDS) and export latency "
+            "percentiles + throughput in the document's 'serving' "
+            "section (requires --metrics-out)"
+        ),
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help=(
@@ -124,6 +143,9 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     args = parser.parse_args(argv)
+    if args.serve and args.metrics_out is None:
+        parser.error("--serve requires --metrics-out (it only adds a "
+                     "'serving' section to the metrics report)")
 
     names = list(EXPERIMENTS) if "all" in args.names else args.names
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -164,7 +186,13 @@ def main(argv: list[str] | None = None) -> int:
             print()
             if args.metrics_out is not None:
                 documents.append(
-                    _collect_metrics(name, result, elapsed, args.trace_out)
+                    _collect_metrics(
+                        name,
+                        result,
+                        elapsed,
+                        args.trace_out,
+                        serve=args.serve,
+                    )
                 )
     finally:
         if tracer is not None:
@@ -221,6 +249,7 @@ def _collect_metrics(
     result: object,
     wall_seconds: float,
     trace_out: str | None = None,
+    serve: bool = False,
 ) -> dict[str, object]:
     """Build one metrics document, running the experiment's probe."""
     registry = MetricsRegistry()
@@ -240,6 +269,15 @@ def _collect_metrics(
                     sweep_spec, registry
                 )
         sweep = sweep_section(sweep_results, sweep_probe)
+    serving = None
+    serve_spec = SERVE_PROBES.get(name) if serve else None
+    if serve_spec is not None:
+        with span("experiment.serve_probe", experiment=name):
+            with registry.timer("serve_probe.wall"):
+                load_report, serve_probe = run_serve_probe(
+                    serve_spec, registry
+                )
+        serving = serving_section(load_report, serve_probe)
     return experiment_document(
         name=name,
         meta=METAS.get(name, {}),
@@ -247,6 +285,7 @@ def _collect_metrics(
         wall_seconds=wall_seconds,
         simulation=simulation,
         sweep=sweep,
+        serving=serving,
         registry=registry,
         trace=trace_out,
     )

@@ -10,6 +10,9 @@ itself:
   request to the owning tree level via ``TreeDescription.level_offsets``;
 * :class:`QueryTrace` — a ring buffer of the last K queries' touched
   node ids and miss sets;
+* :class:`LatencyRecorder` — a thread-safe per-query latency
+  reservoir with exact nearest-rank percentiles and a log-spaced
+  histogram, feeding the serving engine's ``serving`` export section;
 * :class:`Tracer` / :func:`span` — nested, attributed wall-clock spans
   with Chrome-trace (Perfetto) and folded-flamegraph exporters behind
   ``repro-experiments --trace-out``;
@@ -36,6 +39,7 @@ from .export import (
     experiment_document,
     load_report,
     metrics_report,
+    serving_section,
     simulation_section,
     sweep_section,
     validate_document,
@@ -52,6 +56,7 @@ from .history import (
     load_history,
     validate_bench_report,
 )
+from .latency import LatencyRecorder
 from .levels import LevelStats, LevelStatsTable, NullSink
 from .profile import AllocationSite, Profiler
 from .registry import Counter, Gauge, MetricsRegistry, Timer
@@ -77,6 +82,7 @@ __all__ = [
     "Comparison",
     "Counter",
     "Gauge",
+    "LatencyRecorder",
     "LevelStats",
     "LevelStatsTable",
     "MetricDelta",
@@ -104,6 +110,7 @@ __all__ = [
     "load_report",
     "metrics_report",
     "parse_chrome_trace",
+    "serving_section",
     "simulation_section",
     "span",
     "span_tree",

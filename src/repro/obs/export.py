@@ -30,6 +30,7 @@ __all__ = [
     "load_report",
     "metrics_report",
     "sanitize",
+    "serving_section",
     "simulation_section",
     "sweep_section",
     "validate_document",
@@ -174,6 +175,48 @@ def sweep_section(
     return {"probe": sanitize(dict(probe)), "per_capacity": per_capacity}
 
 
+def serving_section(
+    report: Any, probe: Mapping[str, Any]
+) -> dict[str, Any]:
+    """The ``serving`` section of a document, from a load-generator
+    :class:`~repro.serving.loadgen.LoadReport`.
+
+    ``probe`` records the service configuration the run played
+    against (dataset, buffer size, shard count, batching knobs, ...),
+    verbatim.  Latency values are microseconds throughout; the buffer
+    block carries the aggregate counters plus the per-shard rows they
+    must sum-reconcile with (checked by :func:`validate_document`).
+    """
+    aggregate = dict(report.buffer_aggregate)
+    requests = int(aggregate.get("requests", 0))
+    aggregate["hit_ratio"] = (
+        aggregate["hits"] / requests if requests else 0.0
+    )
+    return {
+        "probe": sanitize(dict(probe)),
+        "queries": int(report.queries),
+        "wall_seconds": float(report.wall_seconds),
+        "throughput_qps": float(report.throughput_qps),
+        "offered_rate_qps": float(report.offered_rate_qps),
+        "batches": {
+            "count": int(report.batches),
+            "mean_queries": (
+                report.queries / report.batches if report.batches else 0.0
+            ),
+        },
+        "latency_us": {
+            key: (int(v) if key == "count" else float(v))
+            for key, v in report.latency_summary_us.items()
+        },
+        "histogram_us": sanitize(dict(report.latency_histogram_us)),
+        "buffer": {
+            "shards": int(report.shards),
+            "aggregate": aggregate,
+            "per_shard": [dict(row) for row in report.buffer_per_shard],
+        },
+    }
+
+
 def experiment_document(
     name: str,
     meta: Mapping[str, str],
@@ -181,6 +224,7 @@ def experiment_document(
     wall_seconds: float,
     simulation: Mapping[str, Any] | None = None,
     sweep: Mapping[str, Any] | None = None,
+    serving: Mapping[str, Any] | None = None,
     registry: Any | None = None,
     trace: str | None = None,
 ) -> dict[str, Any]:
@@ -190,8 +234,10 @@ def experiment_document(
     and simulated means, whatever the experiment produces), sanitised
     wholesale; ``simulation`` is an optional
     :func:`simulation_section`; ``sweep`` an optional
-    :func:`sweep_section` (multi-capacity probe; added without a
-    version bump — adding fields is backward compatible); ``registry``
+    :func:`sweep_section` (multi-capacity probe); ``serving`` an
+    optional :func:`serving_section` (open-loop load-test; like
+    ``sweep`` it is added without a version bump — adding fields is
+    backward compatible); ``registry``
     an optional :class:`~repro.obs.registry.MetricsRegistry` whose
     contents are exported under ``"metrics"``; ``trace`` an optional
     pointer (a path) to the Chrome-trace JSON covering this run,
@@ -209,6 +255,7 @@ def experiment_document(
         "result": sanitize(result),
         "simulation": dict(simulation) if simulation is not None else None,
         "sweep": dict(sweep) if sweep is not None else None,
+        "serving": dict(serving) if serving is not None else None,
         "metrics": registry.to_dict() if registry is not None else None,
         "trace": str(trace) if trace is not None else None,
     }
@@ -257,6 +304,9 @@ def validate_document(document: Mapping[str, Any]) -> None:
     sweep = document.get("sweep")
     if sweep is not None:
         _validate_sweep(sweep)
+    serving = document.get("serving")
+    if serving is not None:
+        _validate_serving(serving)
 
 
 def _validate_simulation(simulation: Mapping[str, Any]) -> None:
@@ -315,6 +365,69 @@ def _validate_sweep(sweep: Mapping[str, Any]) -> None:
                     f"({smaller['buffer_size']} -> {larger['buffer_size']}): "
                     "the LRU inclusion property is violated"
                 )
+
+
+def _validate_serving(serving: Mapping[str, Any]) -> None:
+    """Shape checks plus the serving accounting invariants.
+
+    The buffer aggregate must balance (hits + misses == requests) and
+    equal the per-shard sums field by field; latency percentiles must
+    be ordered (p50 <= p95 <= p99 <= max); the histogram counts must
+    sum to the latency sample count, which must equal the number of
+    queries served.  A violation means a broken recorder or a shard
+    that dodged the accounting, not measurement noise.
+    """
+    for key in (
+        "probe",
+        "queries",
+        "wall_seconds",
+        "throughput_qps",
+        "batches",
+        "latency_us",
+        "histogram_us",
+        "buffer",
+    ):
+        if key not in serving:
+            raise ValueError(f"serving section missing {key!r}")
+    latency = serving["latency_us"]
+    for key in ("count", "mean", "max", "p50", "p95", "p99"):
+        if key not in latency:
+            raise ValueError(f"serving latency_us missing {key!r}")
+    if not (
+        float(latency["p50"])
+        <= float(latency["p95"])
+        <= float(latency["p99"])
+        <= float(latency["max"])
+    ):
+        raise ValueError("serving latency percentiles are not ordered")
+    if int(latency["count"]) != int(serving["queries"]):
+        raise ValueError(
+            f"latency count {latency['count']} != queries "
+            f"{serving['queries']}"
+        )
+    histogram = serving["histogram_us"]
+    if sum(int(c) for c in histogram["counts"]) != int(latency["count"]):
+        raise ValueError("histogram counts do not sum to latency count")
+    if len(histogram["bounds_us"]) != len(histogram["counts"]) + 1:
+        raise ValueError("histogram needs len(counts) + 1 bucket bounds")
+    buffer = serving["buffer"]
+    for key in ("shards", "aggregate", "per_shard"):
+        if key not in buffer:
+            raise ValueError(f"serving buffer block missing {key!r}")
+    aggregate = buffer["aggregate"]
+    per_shard = buffer["per_shard"]
+    if int(buffer["shards"]) != len(per_shard):
+        raise ValueError("per_shard row count != shards")
+    for key in _LEVEL_SUM_KEYS:
+        shard_sum = sum(int(row[key]) for row in per_shard)
+        if shard_sum != int(aggregate[key]):
+            raise ValueError(
+                f"per-shard {key} sum {shard_sum} != aggregate "
+                f"{aggregate[key]}"
+            )
+    requests = int(aggregate["requests"])
+    if int(aggregate["hits"]) + int(aggregate["misses"]) != requests:
+        raise ValueError("serving aggregate hits + misses != requests")
 
 
 def validate_report(report: Mapping[str, Any]) -> None:

@@ -1,0 +1,222 @@
+"""Open-loop load generation: seeded arrivals against a service.
+
+*Open-loop* means arrivals are scheduled in advance from a seeded
+process (Poisson or uniform) and queries are injected at their
+scheduled times regardless of how fast the service drains — the
+generator never waits for a response before sending the next query.
+That is the honest way to measure a service under offered load: a
+closed loop would throttle itself to the service's pace and hide
+queueing delay entirely (the coordinated-omission trap).  Latency is
+therefore measured from the *scheduled* arrival, so time the submit
+loop itself falls behind is charged to the queries, not forgotten.
+
+Query popularity comes from one of two seeded sources:
+
+* the workload's own ``sample_points`` (the paper's query models), or
+* a **Zipfian-keyed** draw over a fixed set of key points: key at
+  popularity rank ``r`` is chosen with probability proportional to
+  ``r ** -s`` — the classic many-users skew where a small hot set
+  dominates, which is exactly the regime where buffering decides
+  performance (the paper's thesis, §1).
+
+Everything is deterministic given ``seed`` except wall-clock
+durations and latencies, which are real measurements on this host.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..obs.spans import span
+from .service import QueryService
+
+__all__ = ["LoadGenerator", "LoadReport", "zipfian_weights"]
+
+
+def zipfian_weights(n_keys: int, s: float = 1.1) -> np.ndarray:
+    """Zipf popularity over ``n_keys`` ranks: ``P(r) ∝ r ** -s``.
+
+    Rank 1 is the hottest key.  Returns a probability vector summing
+    to 1 (float64, deterministic).
+    """
+    if n_keys < 1:
+        raise ValueError("need at least one key")
+    if s < 0:
+        raise ValueError("Zipf exponent must be non-negative")
+    ranks = np.arange(1, n_keys + 1, dtype=np.float64)
+    weights = ranks**-s
+    return weights / weights.sum()
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """One completed open-loop run, ready for the metrics export.
+
+    ``repro.obs.export.serving_section`` reads these fields verbatim;
+    latency values are microseconds.
+    """
+
+    queries: int
+    """Queries submitted and served (equals the latency count)."""
+    wall_seconds: float
+    """First submission to last batch completion."""
+    throughput_qps: float
+    """``queries / wall_seconds`` — achieved, not offered."""
+    offered_rate_qps: float
+    """The arrival process's configured rate."""
+    batches: int
+    """Micro-batches the service closed during the run."""
+    shards: int
+    """The service pool's shard count K."""
+    latency_summary_us: dict[str, float]
+    """count / mean / max / p50 / p95 / p99 (microseconds)."""
+    latency_histogram_us: dict[str, list[float]]
+    """Log-spaced ``bounds_us`` + ``counts`` (sums to ``queries``)."""
+    buffer_aggregate: dict[str, int]
+    """Pool counters summed over shards for the measured window."""
+    buffer_per_shard: tuple[dict[str, int], ...] = field(default=())
+    """Per-shard counters; field-wise they sum to the aggregate."""
+
+
+class LoadGenerator:
+    """Plays a seeded open-loop arrival schedule against a service.
+
+    Parameters
+    ----------
+    service:
+        A started :class:`~repro.serving.QueryService` (the generator
+        checks and refuses to run against a stopped one).
+    rate_qps:
+        Offered arrival rate.
+    n_queries:
+        Total queries to play.
+    seed:
+        Seeds both the arrival process and the query draw.
+    arrivals:
+        ``"poisson"`` (exponential gaps — the open-loop classic) or
+        ``"uniform"`` (constant gaps).
+    key_points:
+        Optional ``(n_keys, d)`` array of stab-space points to draw
+        queries from with Zipfian popularity (rows are popularity
+        order: row 0 hottest).  ``None`` draws from the service
+        workload's ``sample_points`` instead.
+    zipf_s:
+        Zipf exponent for ``key_points`` draws (default 1.1).
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        *,
+        rate_qps: float,
+        n_queries: int,
+        seed: int = 0,
+        arrivals: str = "poisson",
+        key_points: np.ndarray | None = None,
+        zipf_s: float = 1.1,
+    ) -> None:
+        if rate_qps <= 0:
+            raise ValueError("rate_qps must be positive")
+        if n_queries < 1:
+            raise ValueError("need at least one query")
+        if arrivals not in ("poisson", "uniform"):
+            raise ValueError(
+                f"unknown arrival process {arrivals!r}; "
+                "choices: poisson, uniform"
+            )
+        self.service = service
+        self.rate_qps = float(rate_qps)
+        self.n_queries = int(n_queries)
+        self.seed = int(seed)
+        self.arrivals = arrivals
+        self.key_points = (
+            None
+            if key_points is None
+            else np.asarray(key_points, dtype=np.float64)
+        )
+        self.zipf_s = float(zipf_s)
+
+    # ------------------------------------------------------------------
+    # Seeded draws (deterministic, no wall clock involved)
+    # ------------------------------------------------------------------
+    def schedule_offsets_ns(self) -> np.ndarray:
+        """Arrival offsets from t0, nanoseconds, int64, sorted."""
+        rng = np.random.default_rng(self.seed)
+        if self.arrivals == "poisson":
+            gaps = rng.exponential(1.0 / self.rate_qps, self.n_queries)
+        else:
+            gaps = np.full(self.n_queries, 1.0 / self.rate_qps)
+        return np.cumsum(gaps * 1e9).astype(np.int64)
+
+    def query_points(self) -> np.ndarray:
+        """The run's query points, in submission order.
+
+        Drawn from an independent stream (``seed + 1``) so the arrival
+        schedule and the query content can be varied separately.
+        """
+        rng = np.random.default_rng(self.seed + 1)
+        if self.key_points is None:
+            return self.service.workload.sample_points(self.n_queries, rng)
+        picks = rng.choice(
+            len(self.key_points),
+            size=self.n_queries,
+            p=zipfian_weights(len(self.key_points), self.zipf_s),
+        )
+        return self.key_points[picks]
+
+    # ------------------------------------------------------------------
+    # The run
+    # ------------------------------------------------------------------
+    def run(self) -> LoadReport:
+        """Play the schedule, drain, and report.
+
+        Resets the service's counters and latency samples first (the
+        buffer's *contents* survive — warm it beforehand if steady
+        state is wanted), so the report covers exactly this run.
+        """
+        service = self.service
+        if not service.running:
+            raise RuntimeError(
+                "service must be started before the load generator runs"
+            )
+        offsets = self.schedule_offsets_ns()
+        points = self.query_points()
+        service.reset_measurement()
+
+        submit = service.submit
+        sleep = time.sleep
+        now_ns = time.perf_counter_ns
+        with span(
+            "loadgen.run",
+            queries=self.n_queries,
+            rate_qps=self.rate_qps,
+            arrivals=self.arrivals,
+        ):
+            t0 = now_ns()
+            scheduled = t0 + offsets
+            for i in range(self.n_queries):
+                lag = scheduled[i] - now_ns()
+                if lag > 0:
+                    sleep(lag / 1e9)
+                submit(points[i], arrival_ns=int(scheduled[i]))
+            service.drain()
+            wall_seconds = (now_ns() - t0) / 1e9
+
+        pool = service.pool
+        return LoadReport(
+            queries=service.queries_served,
+            wall_seconds=wall_seconds,
+            throughput_qps=service.queries_served / wall_seconds,
+            offered_rate_qps=self.rate_qps,
+            batches=service.batches_served,
+            shards=pool.n_shards,
+            latency_summary_us=service.latency.summary_us(),
+            latency_histogram_us=service.latency.histogram_us(),
+            buffer_aggregate=pool.aggregate_stats().as_dict(),
+            buffer_per_shard=tuple(
+                stats.as_dict() for stats in pool.shard_stats()
+            ),
+        )

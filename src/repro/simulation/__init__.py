@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from .batchmeans import BatchMeansEstimate, batch_means
-from .engine import SimulationResult, simulate
+from .engine import SimulationResult, build_stabbers, simulate
 from .stackdist import simulate_sweep
 from .stats import (
     regularized_incomplete_beta,
@@ -18,6 +18,7 @@ __all__ = [
     "ValidationReport",
     "ValidationRow",
     "batch_means",
+    "build_stabbers",
     "regularized_incomplete_beta",
     "simulate",
     "simulate_sweep",

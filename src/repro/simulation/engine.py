@@ -48,7 +48,7 @@ from ..queries.mixed import MixedWorkload
 from ..rtree import TreeDescription
 from .batchmeans import BatchMeansEstimate, batch_means
 
-__all__ = ["SimulationResult", "simulate"]
+__all__ = ["SimulationResult", "build_stabbers", "simulate"]
 
 _CHUNK = 4096
 """Queries vectorised per containment-matrix block."""
@@ -180,19 +180,9 @@ def simulate(
         probe_budget = (
             warmup_cap if warmup_queries is None else warmup_queries
         ) + n_batches * batch_size
-        if isinstance(workload, MixedWorkload):
-            transformed = workload.component_transforms(desc.all_rects)
-            stabber = [
-                make_stabber(t, mode=accel, n_points=probe_budget)
-                for t in transformed
-            ]
-            backend = ",".join(sorted({type(s).__name__ for s in stabber}))
-        else:
-            transformed = workload.transformed_rects(desc.all_rects)
-            stabber = make_stabber(
-                transformed, mode=accel, n_points=probe_budget
-            )
-            backend = type(stabber).__name__
+        stabber, backend = build_stabbers(
+            desc, workload, accel=accel, n_points=probe_budget
+        )
         root_span.set_attrs(backend=backend)
         pinned_ids = range(desc.level_offsets[pinned_levels])
         buffer = _make_buffer(policy, buffer_size, pinned_ids, rng)
@@ -280,6 +270,39 @@ def simulate(
         level_stats=sink.snapshot() if sink is not None else None,
         trace=trace.entries() if trace is not None else (),
     )
+
+
+def build_stabbers(
+    desc: TreeDescription,
+    workload,
+    *,
+    accel: str = "auto",
+    n_points: int = 0,
+):
+    """Build the point stabber(s) for ``workload`` over ``desc``.
+
+    Returns ``(stabber, backend)``: one stabber over the workload's
+    transformed MBRs, or a list of per-component stabbers for a
+    :class:`~repro.queries.mixed.MixedWorkload`; ``backend`` names the
+    chosen accel class(es) for span attribution.  ``n_points`` is the
+    expected probe volume — the work hint that lets ``make_stabber``
+    promote small trees to the grid index (bit-exact either way).
+
+    Shared by the batch simulator and the serving engine so both paths
+    stab through identical structures — part of the K=1 exactness
+    argument in ``docs/SERVING.md``.
+    """
+    if isinstance(workload, MixedWorkload):
+        transformed = workload.component_transforms(desc.all_rects)
+        stabbers = [
+            make_stabber(t, mode=accel, n_points=n_points)
+            for t in transformed
+        ]
+        backend = ",".join(sorted({type(s).__name__ for s in stabbers}))
+        return stabbers, backend
+    transformed = workload.transformed_rects(desc.all_rects)
+    stabber = make_stabber(transformed, mode=accel, n_points=n_points)
+    return stabber, type(stabber).__name__
 
 
 def _sum_stats(snapshots: list[BufferStats]) -> BufferStats:

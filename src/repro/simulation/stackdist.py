@@ -61,12 +61,22 @@ the per-batch counters are bit-exact against
 :func:`~repro.simulation.engine.simulate` (same batch-means values,
 same :class:`~repro.buffer.BufferStats` snapshots).
 
-Two caveats route a sweep back to per-capacity simulation (still one
-call, same results, no speedup): non-LRU policies (the inclusion
-property is LRU-specific — FIFO/CLOCK/RANDOM buffers do not nest) and
-:class:`~repro.queries.MixedWorkload` (its component/point draws
-interleave per chunk, so different warm-up lengths see different query
-streams and no single shared stream can reproduce every capacity).
+The inclusion property is LRU-specific — FIFO/CLOCK/RANDOM buffers do
+not nest — but a weaker, still valuable saving applies to FIFO and
+CLOCK: the *query stream* is shared across capacities even when the
+hit/miss outcomes are not.  Those policies take the **replay** path:
+sample and stab the stream once (the expensive, vectorizable part),
+then replay the unpinned page sequence through one real buffer per
+capacity — bit-exact against per-capacity ``simulate()`` by
+construction, paying the Python buffer loop per capacity but the
+sampling/stabbing only once.  :class:`~repro.queries.MixedWorkload`
+joins the same path (for LRU/FIFO/CLOCK) when ``warmup_queries`` is
+explicit, which fixes the chunk schedule so every capacity consumes
+the generator identically; with warm-up-until-full its component/point
+draws would interleave differently per warm-up length, so that
+combination — and RANDOM, whose eviction draws share the sampling
+generator — falls back to per-capacity simulation (still one call,
+same results, no speedup).
 
 One small thread pool serves the whole pass: the measurement tail is
 stabbed in contiguous spans (stabbers are pure reads over prebuilt
@@ -93,7 +103,7 @@ from ..obs.spans import span
 from ..queries.mixed import MixedWorkload
 from ..rtree import TreeDescription
 from .batchmeans import batch_means
-from .engine import _CHUNK, SimulationResult, simulate
+from .engine import _CHUNK, SimulationResult, _mixed_rows, simulate
 
 __all__ = ["simulate_sweep"]
 
@@ -180,9 +190,11 @@ def simulate_sweep(
 
     Raises :class:`~repro.buffer.PinningError` when any swept size
     cannot hold the pinned levels — filter infeasible sizes first
-    (fig11 does).  Non-LRU policies and mixed workloads fall back to
-    per-capacity simulation internally; results are identical either
-    way.
+    (fig11 does).  FIFO/CLOCK (and mixed workloads with explicit
+    ``warmup_queries``) take the shared-stream *replay* path; RANDOM
+    and until-full mixed sweeps fall back to per-capacity simulation
+    internally.  Results are identical on every route — the route only
+    changes speed (``workers`` applies to the stackdist route only).
     """
     if n_batches < 2:
         raise ValueError("need at least two batches for confidence intervals")
@@ -217,7 +229,17 @@ def simulate_sweep(
         )
     seed = 0 if rng is None else int(rng)
 
-    fallback = policy != "lru" or isinstance(workload, MixedWorkload)
+    mixed = isinstance(workload, MixedWorkload)
+    stackdist_ok = policy == "lru" and not mixed
+    replay_ok = (
+        not stackdist_ok
+        and policy in ("lru", "fifo", "clock")
+        and (not mixed or warmup_queries is not None)
+    )
+    fallback = not stackdist_ok and not replay_ok
+    mode = (
+        "stackdist" if stackdist_ok else "replay" if replay_ok else "fallback"
+    )
     root = span(
         "simulate.sweep",
         capacities=len(buffer_sizes),
@@ -228,7 +250,7 @@ def simulate_sweep(
         pinned_levels=pinned_levels,
         n_batches=n_batches,
         batch_size=batch_size,
-        mode="fallback" if fallback else "stackdist",
+        mode=mode,
         workers=workers,
     )
     started = time.perf_counter_ns() if registry is not None else 0
@@ -250,6 +272,21 @@ def simulate_sweep(
                     accel=accel,
                 )
                 for b in buffer_sizes
+            )
+        elif replay_ok:
+            results = _replay_sweep(
+                desc,
+                workload,
+                buffer_sizes,
+                pinned_count=pinned_count,
+                policy=policy,
+                n_batches=n_batches,
+                batch_size=batch_size,
+                warmup_queries=warmup_queries,
+                warmup_cap=warmup_cap,
+                confidence=confidence,
+                seed=seed,
+                accel=accel,
             )
         elif workers > 0 and _sharding_available():
             # Deferred import: shard.py reuses this module's kernels
@@ -620,6 +657,7 @@ def _assemble_result(
     resident: int,
     batch_size: int,
     confidence: float,
+    filled: bool | None = None,
 ) -> SimulationResult:
     """Integer per-batch counts → one ``SimulationResult``.
 
@@ -629,7 +667,8 @@ def _assemble_result(
     by construction.  ``resident`` is the distinct unpinned pages seen
     before the first measured access (``ccold`` at the window start) —
     the online buffer's resident count when ``is_full`` was last
-    checked.
+    checked.  The replay path passes ``filled`` explicitly (it read
+    ``is_full()`` off a real buffer) and ``resident=0``.
     """
     req_b = stream.q_indptr[batch_queries[1:]] - stream.q_indptr[
         batch_queries[:-1]
@@ -644,7 +683,8 @@ def _assemble_result(
         stats.evictions = int(evictions)
         snapshots.append(stats)
 
-    filled = capacity <= 0 or resident >= capacity
+    if filled is None:
+        filled = capacity <= 0 or resident >= capacity
 
     return SimulationResult(
         disk_accesses=batch_means(
@@ -712,6 +752,231 @@ def _account_capacity(
         batch_size=batch_size,
         confidence=confidence,
     )
+
+
+# ----------------------------------------------------------------------
+# The shared-stream replay engine (FIFO/CLOCK, fixed-warm-up mixtures)
+# ----------------------------------------------------------------------
+
+
+def _generate_mixed_stream(
+    desc: TreeDescription,
+    workload: MixedWorkload,
+    *,
+    pinned_count: int,
+    n_batches: int,
+    batch_size: int,
+    warmup_queries: int,
+    warmup_cap: int,
+    seed: int,
+    accel: str,
+) -> _Stream:
+    """The shared stream for a mixture with an explicit warm-up.
+
+    A mixture's generator consumption *does* depend on chunk
+    boundaries (component assignments and per-component point draws
+    interleave per chunk), so this replays the online engine's exact
+    chunk schedule: the ``_warmup_schedule`` steps followed by each
+    batch in ``min(_CHUNK, remaining)`` steps.  With ``warmup_queries``
+    fixed, that schedule — hence the sampled stream — is identical for
+    every capacity, which is precisely why the replay path requires an
+    explicit warm-up for mixtures.
+    """
+    transformed = workload.component_transforms(desc.all_rects)
+    budget = warmup_queries + n_batches * batch_size
+    stabbers = [
+        make_stabber(t, mode=accel, n_points=budget) for t in transformed
+    ]
+    rng = np.random.default_rng(seed)
+
+    schedule = _warmup_schedule(warmup_queries, warmup_cap)
+    for _ in range(n_batches):
+        remaining = batch_size
+        while remaining > 0:
+            step = min(_CHUNK, remaining)
+            schedule.append(step)
+            remaining -= step
+
+    lengths: list[np.ndarray] = []
+    id_chunks: list[np.ndarray] = []
+    for count in schedule:
+        rows = _mixed_rows(stabbers, workload, rng, count)
+        lengths.append(
+            np.fromiter((row.size for row in rows), np.int64, count=count)
+        )
+        id_chunks.append(
+            np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
+        )
+
+    total = budget
+    all_lengths = (
+        np.concatenate(lengths) if lengths else np.empty(0, dtype=np.int64)
+    )
+    q_indptr = np.zeros(total + 1, dtype=np.int64)
+    np.cumsum(all_lengths, out=q_indptr[1:])
+    ids = (
+        np.concatenate(id_chunks)
+        if id_chunks
+        else np.empty(0, dtype=np.int64)
+    ).astype(np.int64, copy=False)
+    q_of_access = np.repeat(np.arange(total, dtype=np.int64), all_lengths)
+    unpinned = ids >= pinned_count
+    return _Stream(
+        q_indptr=q_indptr,
+        pages=ids[unpinned],
+        q_of_page=q_of_access[unpinned],
+        # Warm-up is explicit, so the until-full boundary tables are
+        # never consulted; keep them trivially empty.
+        bounds=np.zeros(1, dtype=np.int64),
+        bound_distinct=np.zeros(1, dtype=np.int64),
+        backend=",".join(sorted({type(s).__name__ for s in stabbers})),
+    )
+
+
+def _replay_capacity(
+    stream: _Stream,
+    *,
+    policy: str,
+    capacity: int,
+    warmed: int,
+    n_batches: int,
+    batch_size: int,
+    confidence: float,
+) -> SimulationResult:
+    """Replay the shared unpinned page sequence through one buffer.
+
+    The buffer has capacity equal to the *unpinned* capacity and no
+    pinned set: pinned requests never touch the online pool's
+    replacement structures (``BufferPool.request`` short-circuits
+    them), so feeding only the unpinned subsequence through an
+    unpinned pool of the reduced capacity walks the identical state
+    sequence.  Per-batch requests come from ``q_indptr`` (they include
+    pinned accesses); hits are requests minus misses, exactly the
+    online accounting.
+    """
+    batch_queries, access_bounds = _capacity_bounds(
+        stream, warmed, n_batches, batch_size
+    )
+    pages = stream.pages
+    lo = int(access_bounds[0])
+    if capacity <= 0:
+        # A zero-capacity unpinned area: every unpinned access is read
+        # and discarded — all misses, no evictions, trivially full.
+        miss_b = np.diff(access_bounds).astype(np.int64)
+        evict_b = np.zeros(n_batches, dtype=np.int64)
+        filled = True
+    else:
+        buffer = POLICIES[policy](capacity)
+        request = buffer.request
+        for page in pages[:lo]:
+            request(int(page))
+        filled = buffer.is_full()
+        stats = buffer.stats
+        stats.reset()
+        miss_b = np.zeros(n_batches, dtype=np.int64)
+        evict_b = np.zeros(n_batches, dtype=np.int64)
+        for index in range(n_batches):
+            for page in pages[access_bounds[index] : access_bounds[index + 1]]:
+                request(int(page))
+            miss_b[index] = stats.misses
+            evict_b[index] = stats.evictions
+            stats.reset()
+    return _assemble_result(
+        stream,
+        capacity=capacity,
+        warmed=warmed,
+        batch_queries=batch_queries,
+        miss_b=miss_b,
+        evict_b=evict_b,
+        resident=0,
+        batch_size=batch_size,
+        confidence=confidence,
+        filled=filled,
+    )
+
+
+def _replay_sweep(
+    desc: TreeDescription,
+    workload,
+    buffer_sizes: tuple[int, ...],
+    *,
+    pinned_count: int,
+    policy: str,
+    n_batches: int,
+    batch_size: int,
+    warmup_queries: int | None,
+    warmup_cap: int,
+    confidence: float,
+    seed: int,
+    accel: str,
+) -> tuple[SimulationResult, ...]:
+    """Sample/stab once, replay per capacity through a real buffer.
+
+    The saving relative to the fallback is everything upstream of the
+    buffer loop — sampling and stabbing run once instead of once per
+    capacity; the Python replacement loop itself is inherently
+    per-capacity for non-nesting policies.  Bit-exact against
+    per-capacity :func:`~repro.simulation.engine.simulate` by
+    construction: same stream (chunk-independence for non-mixed
+    workloads, replicated chunk schedule for mixtures), same warm-up
+    boundaries, same buffer implementation.
+    """
+    capacities = [b - pinned_count for b in buffer_sizes]
+    measurement = n_batches * batch_size
+    with span("stackdist.stream") as stream_span:
+        if isinstance(workload, MixedWorkload):
+            assert warmup_queries is not None  # guaranteed by the gate
+            stream = _generate_mixed_stream(
+                desc,
+                workload,
+                pinned_count=pinned_count,
+                n_batches=n_batches,
+                batch_size=batch_size,
+                warmup_queries=warmup_queries,
+                warmup_cap=warmup_cap,
+                seed=seed,
+                accel=accel,
+            )
+        else:
+            stream = _generate_stream(
+                desc,
+                workload,
+                pinned_count=pinned_count,
+                max_capacity=max(capacities),
+                measurement=measurement,
+                warmup_queries=warmup_queries,
+                warmup_cap=warmup_cap,
+                seed=seed,
+                accel=accel,
+            )
+        stream_span.set_attrs(
+            queries=stream.n_queries,
+            accesses=int(stream.q_indptr[-1]),
+            unpinned=int(stream.pages.size),
+            backend=stream.backend,
+        )
+
+    results = []
+    for buffer_size, capacity in zip(buffer_sizes, capacities):
+        warmed = _warmup_for(stream, capacity, warmup_queries, warmup_cap)
+        with span(
+            "stackdist.capacity",
+            buffer_size=buffer_size,
+            capacity=capacity,
+            warmup=warmed,
+        ):
+            results.append(
+                _replay_capacity(
+                    stream,
+                    policy=policy,
+                    capacity=capacity,
+                    warmed=warmed,
+                    n_batches=n_batches,
+                    batch_size=batch_size,
+                    confidence=confidence,
+                )
+            )
+    return tuple(results)
 
 
 def _stackdist_sweep(

@@ -108,6 +108,17 @@ class TestCommittedReport:
         probe = by_kernel["probe_simulation_throughput"]
         assert probe["unit"] == "queries/s"
         assert probe["ops_per_s"] > 0
+        serving = by_kernel["serving_throughput"]
+        assert serving["n_points"] >= 100_000
+        assert serving["unit"] == "queries/s"
+        # The PR's gated claim: micro-batched admission amortizes the
+        # stab across the batch, >= 10x over the per-query loop.
+        assert serving["speedup_vs_dense"] >= 10.0
+        latency = by_kernel["serving_latency_p99"]
+        assert latency["unit"] == "queries/s"
+        assert latency["seconds"] > 0
+        # Batching must also help the saturated tail, not just the mean.
+        assert latency["speedup_vs_dense"] > 1.0
 
 
 class TestBuildReport:
@@ -122,6 +133,8 @@ class TestBuildReport:
                 bench._bench_data_driven(_rng(rng_seed), 200, 200),
                 bench._bench_point_stab(_rng(rng_seed), 200, 100),
                 bench._bench_sim_throughput(_rng(rng_seed), 200, 100),
+                bench._bench_serving_throughput(_rng(rng_seed), 200, 300),
+                bench._bench_serving_latency(_rng(rng_seed), 200, 300),
             ],
         }
         assert bench.validate_report(report) == []

@@ -21,7 +21,12 @@ import pytest
 import numpy as np
 
 from repro.analysis import sanitize
-from repro.analysis.sanitize import SanitizerError, adopt, enabled_by_env
+from repro.analysis.sanitize import (
+    SanitizerError,
+    adopt,
+    enabled_by_env,
+    guard,
+)
 from repro.buffer.base import BufferStats
 from repro.buffer.lru import LRUBuffer
 from repro.obs.spans import Tracer
@@ -236,6 +241,128 @@ class TestSharedMemoryDiscipline:
             workers=2,
         )
         assert len(results) == 2
+
+
+class TestShardLockGuards:
+    """The sharded pool's shards are lock-guarded, not thread-affine."""
+
+    def test_concurrent_requests_stay_legal(self, sanitizer):
+        from repro.buffer import ShardedBufferPool
+
+        pool = ShardedBufferPool(64, 8)
+        errors: list[BaseException] = []
+
+        def work(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            try:
+                for page in rng.integers(0, 500, 2000):
+                    pool.request(int(page))
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(s,)) for s in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        agg = pool.aggregate_stats()
+        assert agg.requests == 8000
+        assert agg.hits + agg.misses == agg.requests
+
+    def test_unguarded_shard_request_raises(self, sanitizer):
+        from repro.buffer import ShardedBufferPool
+
+        pool = ShardedBufferPool(16, 2)
+        # Same thread, no lock: affinity would wave this through, the
+        # guard does not — the lock is the synchronization statement.
+        with pytest.raises(SanitizerError, match="guard"):
+            pool._pools[0].request(123)
+
+    def test_unguarded_shard_stats_write_raises(self, sanitizer):
+        from repro.buffer import ShardedBufferPool
+
+        pool = ShardedBufferPool(16, 2)
+        with pytest.raises(SanitizerError, match="guard"):
+            pool._pools[1].stats.hits += 1
+
+    def test_holding_the_shard_lock_makes_it_legal(self, sanitizer):
+        from repro.buffer import ShardedBufferPool
+
+        pool = ShardedBufferPool(16, 2)
+        with pool._locks[0]:
+            pool._pools[0].request(123)
+        assert pool.aggregate_stats().requests == 1
+
+    def test_cross_thread_guarded_write_is_legal(self, sanitizer):
+        from repro.buffer import ShardedBufferPool
+
+        pool = ShardedBufferPool(16, 2)
+
+        def guarded():
+            with pool._locks[0]:
+                pool._pools[0].request(7)
+
+        assert _mutate_in_thread(guarded) is None
+        assert pool.aggregate_stats().requests == 1
+
+    def test_guard_converts_affinity_to_lock_discipline(self, sanitizer):
+        # guard() is the generic registration the sharded-pool patch
+        # uses: after it, the lock — not the creating thread — decides.
+        stats = BufferStats()
+        lock = threading.Lock()
+        guard(stats, lock)
+        with pytest.raises(SanitizerError, match="guard"):
+            stats.hits += 1  # same thread, lock not held
+        with lock:
+            stats.hits += 1
+        assert stats.hits == 1
+
+    def test_adopt_clears_a_guard(self, sanitizer):
+        stats = BufferStats()
+        guard(stats, threading.Lock())
+        adopt(stats)
+        stats.hits += 1  # affinity again: owner thread, no lock needed
+        assert stats.hits == 1
+
+    def test_plain_pools_keep_affinity_semantics(self, sanitizer):
+        # guard() registration is per-shard-instance: an unrelated
+        # plain pool still gets the thread-affinity check.
+        pool = LRUBuffer(capacity=4)
+        pool.request(1)
+        error = _mutate_in_thread(lambda: pool.request(2))
+        assert isinstance(error, SanitizerError)
+
+    def test_seeded_concurrent_soak_reconciles(self, sanitizer):
+        # The acceptance soak: seeded concurrent traffic through the
+        # full serving stack stays sanitizer-clean and the shard sums
+        # reconcile with the aggregate.
+        from repro.packing import pack_description
+        from repro.queries import UniformPointWorkload
+        from repro.serving import LoadGenerator, QueryService
+        from tests.conftest import random_rects
+
+        rects = random_rects(np.random.default_rng(17), 400, max_side=0.04)
+        desc = pack_description(rects, capacity=16, ordering="hs")
+        service = QueryService(
+            desc, UniformPointWorkload(), 16, shards=4, max_batch=64,
+        )
+        generator = LoadGenerator(
+            service, rate_qps=50_000, n_queries=600, seed=2
+        )
+        service.start(workers=2)
+        try:
+            report = generator.run()
+        finally:
+            service.stop()
+        assert report.queries == 600
+        agg = report.buffer_aggregate
+        for field in agg:
+            assert agg[field] == sum(
+                s[field] for s in report.buffer_per_shard
+            )
 
 
 class TestInstallLifecycle:

@@ -7,6 +7,8 @@ from repro.experiments.common import (
     Table,
     get_dataset,
     get_description,
+    probe_budget,
+    serve_shards,
     sim_batches,
     sim_queries_per_batch,
     sim_workers,
@@ -91,6 +93,34 @@ class TestEnvKnobs:
         assert sim_batches() == 5
         assert sim_queries_per_batch() == 123
         assert sim_workers() == 4
+
+    def test_probe_budget_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROBE_BATCHES", raising=False)
+        monkeypatch.delenv("REPRO_PROBE_QUERIES", raising=False)
+        assert probe_budget() == (5, 2000)
+
+    def test_probe_budget_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROBE_BATCHES", "3")
+        monkeypatch.setenv("REPRO_PROBE_QUERIES", "77")
+        assert probe_budget() == (3, 77)
+
+    def test_probe_budget_validated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROBE_BATCHES", "1")
+        with pytest.raises(ValueError, match="BATCHES"):
+            probe_budget()
+        monkeypatch.setenv("REPRO_PROBE_BATCHES", "2")
+        monkeypatch.setenv("REPRO_PROBE_QUERIES", "0")
+        with pytest.raises(ValueError, match="QUERIES"):
+            probe_budget()
+
+    def test_serve_shards(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_SHARDS", raising=False)
+        assert serve_shards() == 1
+        monkeypatch.setenv("REPRO_SERVE_SHARDS", "8")
+        assert serve_shards() == 8
+        monkeypatch.setenv("REPRO_SERVE_SHARDS", "0")
+        with pytest.raises(ValueError, match="SHARDS"):
+            serve_shards()
 
 
 class TestTable:

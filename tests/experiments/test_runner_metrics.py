@@ -4,12 +4,25 @@ from dataclasses import dataclass
 
 import pytest
 
-from repro.experiments.probes import METRICS_PROBES, ProbeSpec, run_probe
+from repro.experiments.probes import (
+    METRICS_PROBES,
+    SERVE_PROBES,
+    ProbeSpec,
+    ServeProbeSpec,
+    run_probe,
+    run_serve_probe,
+)
 from repro.experiments.runner import EXPERIMENTS, METAS, main
 from repro.obs import MetricsRegistry, load_report
 
 TINY_PROBE = ProbeSpec("point", 400, 10, "hs", "uniform-point", 10)
 """A probe small enough for the unit-test budget."""
+
+TINY_SERVE_PROBE = ServeProbeSpec(
+    "point", 400, 10, "hs", "uniform-point", 10,
+    rate_qps=50_000.0, n_queries=150, max_batch=32,
+)
+"""A serving probe small enough for the unit-test budget."""
 
 
 @dataclass(frozen=True)
@@ -25,6 +38,7 @@ def stub_experiment(monkeypatch):
     """Replace fig5 with a fast stub and a tiny probe."""
     monkeypatch.setitem(EXPERIMENTS, "fig5", lambda: _StubResult(1.5))
     monkeypatch.setitem(METRICS_PROBES, "fig5", TINY_PROBE)
+    monkeypatch.setitem(SERVE_PROBES, "fig5", TINY_SERVE_PROBE)
 
 
 class TestProbes:
@@ -89,3 +103,54 @@ class TestMetricsOut:
         assert main(["fig5"]) == 0
         assert "metrics for" not in capsys.readouterr().out
         assert list(tmp_path.iterdir()) == []
+
+
+class TestServeMode:
+    def test_serve_probes_cover_known_experiments(self):
+        assert set(SERVE_PROBES) <= set(EXPERIMENTS)
+        assert SERVE_PROBES  # at least one experiment is served
+
+    def test_run_serve_probe_produces_report(self):
+        registry = MetricsRegistry()
+        report, probe = run_serve_probe(TINY_SERVE_PROBE, registry)
+        assert report.queries == 150
+        assert report.shards == 1
+        assert probe["dataset"] == "point"
+        assert probe["shards"] == 1
+        metrics = registry.to_dict()
+        assert metrics["counters"]["serving.queries"] == 150
+        assert metrics["gauges"]["serving.p99_us"] > 0
+
+    def test_serve_honours_shard_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_SHARDS", "2")
+        report, probe = run_serve_probe(TINY_SERVE_PROBE)
+        assert report.shards == 2
+        assert probe["shards"] == 2
+
+    def test_serve_requires_metrics_out(self, stub_experiment, capsys):
+        with pytest.raises(SystemExit):
+            main(["--serve", "fig5"])
+        assert "--metrics-out" in capsys.readouterr().err
+
+    def test_serve_adds_serving_section(self, tmp_path, stub_experiment):
+        path = tmp_path / "out.json"
+        assert main(["--serve", "--metrics-out", str(path), "fig5"]) == 0
+        (doc,) = load_report(path)["documents"]  # validates on load
+        serving = doc["serving"]
+        assert serving is not None
+        assert serving["queries"] == 150
+        assert serving["latency_us"]["count"] == 150
+        assert serving["buffer"]["shards"] == 1
+        agg = serving["buffer"]["aggregate"]
+        for key in ("requests", "hits", "misses", "evictions"):
+            assert agg[key] == sum(
+                row[key] for row in serving["buffer"]["per_shard"]
+            )
+
+    def test_without_serve_flag_section_is_none(
+        self, tmp_path, stub_experiment
+    ):
+        path = tmp_path / "out.json"
+        assert main(["--metrics-out", str(path), "fig5"]) == 0
+        (doc,) = load_report(path)["documents"]
+        assert doc["serving"] is None

@@ -131,6 +131,118 @@ class TestDocumentValidation:
         assert doc["simulation"] is None and doc["metrics"] is None
 
 
+class TestServingSection:
+    def make_report(self):
+        from repro.serving import LoadReport
+
+        return LoadReport(
+            queries=10,
+            wall_seconds=0.5,
+            throughput_qps=20.0,
+            offered_rate_qps=25.0,
+            batches=4,
+            shards=2,
+            latency_summary_us={
+                "count": 10, "mean": 30.0, "max": 90.0,
+                "p50": 20.0, "p95": 60.0, "p99": 80.0,
+            },
+            latency_histogram_us={
+                "bounds_us": [1.0, 10.0, 100.0, 1000.0],
+                "counts": [2, 5, 3],
+            },
+            buffer_aggregate={
+                "requests": 30, "hits": 12, "misses": 18, "evictions": 5,
+            },
+            buffer_per_shard=(
+                {"requests": 18, "hits": 7, "misses": 11, "evictions": 3},
+                {"requests": 12, "hits": 5, "misses": 7, "evictions": 2},
+            ),
+        )
+
+    def make_document(self, **section_overrides):
+        from repro.obs import serving_section
+
+        section = serving_section(self.make_report(), {"dataset": "x"})
+        section.update(section_overrides)
+        return experiment_document(
+            name="fake",
+            meta={},
+            result={"rows": [1]},
+            wall_seconds=0.1,
+            serving=section,
+        )
+
+    def test_section_shape(self):
+        from repro.obs import serving_section
+
+        section = serving_section(self.make_report(), {"dataset": "x"})
+        assert section["probe"] == {"dataset": "x"}
+        assert section["queries"] == 10
+        assert section["batches"] == {"count": 4, "mean_queries": 2.5}
+        assert section["buffer"]["aggregate"]["hit_ratio"] == 12 / 30
+        assert section["buffer"]["shards"] == 2
+        json.dumps(section)  # exportable as-is
+
+    def test_valid_document_passes(self):
+        validate_document(self.make_document())
+
+    def test_missing_key_rejected(self):
+        doc = self.make_document()
+        del doc["serving"]["latency_us"]
+        with pytest.raises(ValueError, match="latency_us"):
+            validate_document(doc)
+
+    def test_unordered_percentiles_rejected(self):
+        doc = self.make_document()
+        doc["serving"]["latency_us"]["p95"] = 85.0  # > p99
+        with pytest.raises(ValueError, match="ordered"):
+            validate_document(doc)
+
+    def test_latency_count_mismatch_rejected(self):
+        doc = self.make_document()
+        doc["serving"]["latency_us"]["count"] = 9
+        with pytest.raises(ValueError, match="count"):
+            validate_document(doc)
+
+    def test_histogram_sum_mismatch_rejected(self):
+        doc = self.make_document()
+        doc["serving"]["histogram_us"]["counts"][0] += 1
+        with pytest.raises(ValueError, match="histogram"):
+            validate_document(doc)
+
+    def test_histogram_bounds_shape_rejected(self):
+        doc = self.make_document()
+        doc["serving"]["histogram_us"]["bounds_us"].append(1e4)
+        with pytest.raises(ValueError, match="bounds"):
+            validate_document(doc)
+
+    def test_shard_count_mismatch_rejected(self):
+        doc = self.make_document()
+        doc["serving"]["buffer"]["shards"] = 3
+        with pytest.raises(ValueError, match="shard"):
+            validate_document(doc)
+
+    def test_shard_sum_mismatch_rejected(self):
+        doc = self.make_document()
+        doc["serving"]["buffer"]["per_shard"][0]["hits"] += 1
+        with pytest.raises(ValueError):
+            validate_document(doc)
+
+    def test_unbalanced_aggregate_rejected(self):
+        doc = self.make_document()
+        doc["serving"]["buffer"]["aggregate"]["hits"] = 13
+        doc["serving"]["buffer"]["per_shard"][0]["hits"] = 8
+        with pytest.raises(ValueError):
+            validate_document(doc)
+
+    def test_serving_free_document_is_valid(self):
+        doc = experiment_document(
+            name="fake", meta={}, result={}, wall_seconds=0.1
+        )
+        validate_document(doc)
+        assert doc["serving"] is None
+
+
 class TestReportRoundTrip:
     def test_write_then_load(self, tmp_path):
         doc = TestDocumentValidation().make_document()

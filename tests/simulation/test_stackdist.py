@@ -86,9 +86,57 @@ class TestBitExactAgainstOnline:
             dict(buffer_sizes=(3, 12), warmup_cap=2048),
         ),
         (
-            "fifo-fallback",
+            "fifo-replay",
             UniformPointWorkload(),
             dict(buffer_sizes=(3, 12), policy="fifo", warmup_cap=2048),
+        ),
+        (
+            "clock-replay",
+            UniformPointWorkload(),
+            dict(buffer_sizes=(3, 12, 60), policy="clock", warmup_cap=2048),
+        ),
+        (
+            "fifo-pinned-explicit-warmup",
+            UniformRegionWorkload((0.06, 0.06)),
+            dict(
+                buffer_sizes=(2, 9, 40), policy="fifo",
+                pinned_levels=1, warmup_queries=400,
+            ),
+        ),
+        (
+            "clock-zero-unpinned-capacity",
+            UniformPointWorkload(),
+            # buffer size 1 with the root pinned: zero unpinned slots,
+            # every unpinned access is a miss (the engine's edge case).
+            dict(
+                buffer_sizes=(1, 6), policy="clock",
+                pinned_levels=1, warmup_cap=1024,
+            ),
+        ),
+        (
+            "mixed-replay-explicit-warmup",
+            MixedWorkload(
+                [
+                    (0.7, UniformPointWorkload()),
+                    (0.3, UniformRegionWorkload((0.08, 0.08))),
+                ]
+            ),
+            dict(buffer_sizes=(3, 12), policy="fifo", warmup_queries=500),
+        ),
+        (
+            "mixed-lru-replay-explicit-warmup",
+            MixedWorkload(
+                [
+                    (0.5, UniformPointWorkload()),
+                    (0.5, UniformRegionWorkload((0.05, 0.05))),
+                ]
+            ),
+            dict(buffer_sizes=(2, 20), warmup_queries=300),
+        ),
+        (
+            "random-fallback",
+            UniformPointWorkload(),
+            dict(buffer_sizes=(3, 12), policy="random", warmup_cap=2048),
         ),
     ]
 
@@ -192,6 +240,8 @@ class TestObservability:
         assert metrics["timers"]["simulate.sweep"]["count"] == 1
 
     def test_fallback_mode_span(self):
+        # RANDOM's eviction draws interleave with sampling RNG, so it
+        # is the one replacement policy left on the per-capacity path.
         tracer = Tracer()
         previous = use_tracer(tracer)
         try:
@@ -202,8 +252,61 @@ class TestObservability:
                 n_batches=2,
                 batch_size=100,
                 warmup_queries=100,
-                policy="fifo",
+                policy="random",
                 rng=1,
+            )
+        finally:
+            use_tracer(previous)
+        (root,) = [s for s in tracer.finished() if s.name == "simulate.sweep"]
+        assert root.attrs["mode"] == "fallback"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(policy="fifo", warmup_queries=100),
+            dict(policy="clock", warmup_cap=1024),
+        ],
+        ids=["fifo", "clock"],
+    )
+    def test_replay_mode_span(self, kwargs):
+        tracer = Tracer()
+        previous = use_tracer(tracer)
+        try:
+            simulate_sweep(
+                _DESC,
+                UniformPointWorkload(),
+                (2, 8, 20),
+                n_batches=2,
+                batch_size=100,
+                rng=1,
+                **kwargs,
+            )
+        finally:
+            use_tracer(previous)
+        (root,) = [s for s in tracer.finished() if s.name == "simulate.sweep"]
+        assert root.attrs["mode"] == "replay"
+        capacity_spans = [
+            s for s in tracer.finished() if s.name == "stackdist.capacity"
+        ]
+        assert len(capacity_spans) == 3
+
+    def test_mixed_until_full_stays_on_fallback(self):
+        # A mixture's draws depend on chunk boundaries, and an
+        # until-full warm-up makes those boundaries capacity-dependent:
+        # no shared stream exists, so the sweep must not pretend.
+        tracer = Tracer()
+        previous = use_tracer(tracer)
+        mixed = MixedWorkload(
+            [
+                (0.5, UniformPointWorkload()),
+                (0.5, UniformRegionWorkload((0.1, 0.1))),
+            ]
+        )
+        try:
+            simulate_sweep(
+                _DESC, mixed, (2, 8),
+                n_batches=2, batch_size=100, policy="fifo",
+                warmup_cap=512, rng=1,
             )
         finally:
             use_tracer(previous)
