@@ -29,7 +29,13 @@ oracles on the two compute-dominant paths of the reproduction:
 * ``serving_latency_p99`` — saturation-mode tail latency: every query
   "arrives" at t0 and ``seconds`` is the batched p99 (so
   ``ops_per_s`` is the achieved drain rate), ``dense_seconds`` the
-  per-query-loop p99 over the same points.
+  per-query-loop p99 over the same points;
+* ``telemetry_overhead`` — identical batched serving runs with a live
+  :class:`repro.obs.TelemetrySink` (background ticker streaming JSONL
+  to a scratch file) vs the None-default sink, asserted to produce
+  identical buffer counters.  ``speedup_vs_dense`` is
+  disabled/enabled wall time — the observability tax, gated at
+  <= 1.10x slowdown by ``tests/accel/test_bench_schema.py``.
 
 The report is a machine-readable JSON file (schema ``repro-bench/1``,
 see :data:`RECORD_FIELDS` and ``docs/PERFORMANCE.md``) written to the
@@ -49,6 +55,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -65,7 +72,7 @@ from repro.accel import DenseStabber, GridStabbingIndex, SortedRangeCounter
 from repro.buffer import LRUBuffer
 from repro.geometry import RectArray
 from repro.model.access import data_driven_probabilities
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, TelemetrySink
 from repro.obs.history import (
     BENCH_SCHEMA,
     RECORD_FIELDS,
@@ -459,6 +466,71 @@ def _bench_serving_latency(
     )
 
 
+def _bench_telemetry_overhead(
+    rng: np.random.Generator, n_rects: int, n_queries: int
+) -> dict:
+    """Serving wall time with a live telemetry sink vs without.
+
+    Both services run the same batched admission over the same points
+    with per-query arrivals (so the latency recorder is hot in both);
+    the instrumented one additionally carries a started
+    :class:`TelemetrySink` streaming ticks to a scratch file.  The
+    counters must match exactly — telemetry observes, it never steers.
+    """
+    rects = _node_like_rects(rng, n_rects)
+    capacity = 100 if n_rects >= 20_000 else 25
+    desc = pack_description(rects, capacity, "hs")
+    workload = UniformPointWorkload()
+    buffer_size = max(2, desc.total_nodes // 5)
+    points = workload.sample_points(n_queries, rng)
+
+    def run(telemetry_enabled: bool) -> tuple[float, dict]:
+        service = QueryService(
+            desc, workload, buffer_size,
+            shards=2, max_batch=4096, expected_queries=n_queries,
+        )
+        sink = None
+        scratch = None
+        if telemetry_enabled:
+            scratch = tempfile.NamedTemporaryFile(
+                mode="w", suffix=".jsonl", delete=False
+            )
+            scratch.close()
+            sink = TelemetrySink(
+                service, interval_s=0.01, path=scratch.name
+            )
+            service.telemetry = sink
+            sink.start()
+        arrivals = np.full(
+            n_queries, time.perf_counter_ns(), dtype=np.int64
+        )
+        started = time.perf_counter()
+        service.process(points, arrivals_ns=arrivals)
+        seconds = time.perf_counter() - started
+        if sink is not None:
+            sink.close()
+            Path(scratch.name).unlink()
+        return seconds, service.aggregate_stats().as_dict()
+
+    seconds, enabled_stats = run(telemetry_enabled=True)
+    dense_seconds, disabled_stats = run(telemetry_enabled=False)
+
+    if enabled_stats != disabled_stats:
+        raise AssertionError(
+            "telemetry-enabled serving buffer counters diverged from "
+            "the telemetry-free run"
+        )
+    return _record(
+        "telemetry_overhead",
+        n_rects,
+        n_queries,
+        seconds,
+        dense_seconds,
+        ops=n_queries,
+        unit="queries/s",
+    )
+
+
 def _record(
     kernel: str,
     n_rects: int,
@@ -492,6 +564,7 @@ _FULL_SIZES = {
     "sweep_parallel": (50_000, 200_000),
     "serving_throughput": (50_000, 100_000),
     "serving_latency": (50_000, 20_000),
+    "telemetry_overhead": (50_000, 100_000),
 }
 
 _SMOKE_SIZES = {
@@ -503,6 +576,7 @@ _SMOKE_SIZES = {
     "sweep_parallel": (4_000, 10_000),
     "serving_throughput": (4_000, 5_000),
     "serving_latency": (4_000, 2_000),
+    "telemetry_overhead": (4_000, 5_000),
 }
 
 
@@ -519,6 +593,7 @@ def build_report(seed: int = 0, smoke: bool = False) -> dict:
         _bench_sweep_parallel(rng, *sizes["sweep_parallel"]),
         _bench_serving_throughput(rng, *sizes["serving_throughput"]),
         _bench_serving_latency(rng, *sizes["serving_latency"]),
+        _bench_telemetry_overhead(rng, *sizes["telemetry_overhead"]),
     ]
     return {
         "schema": SCHEMA,

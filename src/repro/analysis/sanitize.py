@@ -17,10 +17,15 @@ Mechanics:
   (pool) from a different thread raises.  Objects are not locked to
   a thread forever — :func:`adopt` transfers ownership explicitly,
   which is itself a synchronization statement in the code.
-* **Lock discipline** (tracer): spans legitimately finish on many
-  threads, so affinity is the wrong check.  Instead the tracer's
-  shared containers (``_finished``, ``_threads``) are replaced with
-  guards that assert ``self._lock`` is held during every mutation.
+* **Lock discipline** (tracer, telemetry sink): spans legitimately
+  finish on many threads, so affinity is the wrong check.  Instead
+  the tracer's shared containers (``_finished``, ``_threads``) are
+  replaced with guards that assert ``self._lock`` is held during
+  every mutation.  The telemetry sink
+  (:class:`~repro.obs.telemetry.TelemetrySink`) gets the same
+  treatment: its sliding-window list mutates only inside the tick
+  path, which must hold the sink lock — a tick that mutates the
+  window without it raises at the exact ``append``/``pop``.
 * **Lock guards** (sharded pool): a
   :class:`~repro.buffer.sharded.ShardedBufferPool` hands each shard's
   plain pool to *many* threads by design — the shard lock, not thread
@@ -180,6 +185,10 @@ class _GuardedList(list):
         self._assert_held("clear")
         super().clear()
 
+    def pop(self, *args: Any) -> Any:
+        self._assert_held("pop")
+        return super().pop(*args)
+
 
 class _GuardedDict(dict):
     """A dict that insists its lock is held during every mutation."""
@@ -316,6 +325,27 @@ def _patch_shard(cls: type) -> None:
     cls.dispose = dispose  # type: ignore[assignment]
 
 
+def _patch_telemetry(cls: type) -> None:
+    """Replace the sink's sliding window with a lock-asserting list.
+
+    The window is touched only by :meth:`TelemetrySink.
+    _build_tick_locked`, whose contract is "caller holds the sink
+    lock" — this patch turns that docstring contract into a runtime
+    check, exactly as for the tracer's containers.
+    """
+    original: Callable = cls.__init__
+    _save(cls, "__init__")
+
+    def __init__(self: Any, *args: Any, **kwargs: Any) -> None:
+        original(self, *args, **kwargs)
+        window = _GuardedList(self._lock, "TelemetrySink._window_deltas")
+        list.extend(window, self._window_deltas)
+        self._window_deltas = window
+
+    __init__.__wrapped__ = original  # type: ignore[attr-defined]
+    cls.__init__ = __init__  # type: ignore[misc]
+
+
 def _patch_sharded(cls: type) -> None:
     """Register every shard's pool and stats with the shard's lock.
 
@@ -346,12 +376,14 @@ def install() -> None:
     from repro.buffer.base import BufferPool, BufferStats
     from repro.buffer.sharded import ShardedBufferPool
     from repro.obs.spans import Tracer
+    from repro.obs.telemetry import TelemetrySink
     from repro.simulation.shard import SharedArray
 
     _patch_stats(BufferStats)
     _patch_pool(BufferPool)
     _patch_sharded(ShardedBufferPool)
     _patch_tracer(Tracer)
+    _patch_telemetry(TelemetrySink)
     _patch_shard(SharedArray)
     _installed = True
 

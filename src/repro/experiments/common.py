@@ -20,6 +20,15 @@ so the validation experiments can be scaled up toward the paper's
 * ``REPRO_SERVE_SHARDS`` (default 1: buffer shards K for the serving
   probes; K=1 reproduces the batch simulator bit-exactly, see
   ``docs/SERVING.md``)
+* ``REPRO_SERVE_TELEMETRY`` (a path: stream live serving telemetry
+  there as ``repro-telemetry/1`` JSONL — the env twin of
+  ``runner --telemetry-out``; empty/unset disables the sink)
+* ``REPRO_SERVE_TELEMETRY_INTERVAL_MS`` (default 100: the sink's
+  sampling period)
+* ``REPRO_SERVE_SLO_P99_MS`` / ``REPRO_SERVE_SLO_HIT_FLOOR`` /
+  ``REPRO_SERVE_SLO_BUDGET`` (defaults 50 / 0.0 / 0.01: the SLO
+  monitor's p99 target, hit-ratio floor and error budget for
+  telemetry-enabled probes)
 """
 
 from __future__ import annotations
@@ -48,6 +57,9 @@ __all__ = [
     "get_description",
     "probe_budget",
     "serve_shards",
+    "serve_slo",
+    "serve_telemetry",
+    "serve_telemetry_interval_s",
     "sim_batches",
     "sim_queries_per_batch",
     "sim_workers",
@@ -95,6 +107,46 @@ def serve_shards() -> int:
     if shards < 1:
         raise ValueError("REPRO_SERVE_SHARDS must be >= 1")
     return shards
+
+
+def serve_telemetry() -> str | None:
+    """Telemetry stream path for serving probes (None = disabled).
+
+    The environment twin of ``runner --telemetry-out``; an explicit
+    CLI flag wins over the variable.
+    """
+    path = os.environ.get("REPRO_SERVE_TELEMETRY", "").strip()
+    return path or None
+
+
+def serve_telemetry_interval_s() -> float:
+    """Telemetry sampling period in seconds (default 0.1 = 100 ms)."""
+    interval_ms = float(
+        os.environ.get("REPRO_SERVE_TELEMETRY_INTERVAL_MS", "100")
+    )
+    if interval_ms <= 0:
+        raise ValueError("REPRO_SERVE_TELEMETRY_INTERVAL_MS must be positive")
+    return interval_ms / 1000.0
+
+
+def serve_slo() -> tuple[float, float, float]:
+    """``(p99_target_us, hit_ratio_floor, budget)`` for the SLO monitor.
+
+    Defaults: 50 ms p99 (generous for smoke-sized probes on shared CI
+    hosts), a 0.0 hit-ratio floor (never burns — raise it per run when
+    the Eq. 5/6 prediction for the configuration is known), and a 1%
+    error budget.
+    """
+    p99_ms = float(os.environ.get("REPRO_SERVE_SLO_P99_MS", "50"))
+    hit_floor = float(os.environ.get("REPRO_SERVE_SLO_HIT_FLOOR", "0.0"))
+    budget = float(os.environ.get("REPRO_SERVE_SLO_BUDGET", "0.01"))
+    if p99_ms <= 0:
+        raise ValueError("REPRO_SERVE_SLO_P99_MS must be positive")
+    if not 0.0 <= hit_floor <= 1.0:
+        raise ValueError("REPRO_SERVE_SLO_HIT_FLOOR must be in [0, 1]")
+    if not 0.0 < budget <= 1.0:
+        raise ValueError("REPRO_SERVE_SLO_BUDGET must be in (0, 1]")
+    return p99_ms * 1000.0, hit_floor, budget
 
 
 def _generate_dataset(name: str, n: int | None) -> RectArray:

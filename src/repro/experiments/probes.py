@@ -21,7 +21,8 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..geometry import RectArray
-from ..obs import MetricsRegistry
+from ..model import buffer_model
+from ..obs import MetricsRegistry, SLOMonitor, TelemetrySink
 from ..queries import (
     DataDrivenWorkload,
     UniformPointWorkload,
@@ -34,6 +35,9 @@ from .common import (
     get_description,
     probe_budget,
     serve_shards,
+    serve_slo,
+    serve_telemetry,
+    serve_telemetry_interval_s,
     sim_workers,
 )
 
@@ -350,16 +354,26 @@ def run_serve_probe(
     *,
     shards: int | None = None,
     workers: int = 1,
-) -> tuple[LoadReport, dict[str, Any]]:
+    telemetry_out: str | None = None,
+) -> tuple[LoadReport, dict[str, Any], dict[str, Any] | None]:
     """Run one open-loop serving probe.
 
     Builds a :class:`~repro.serving.QueryService` over the
     experiment's cached tree, starts it, plays the spec's seeded
     arrival schedule through a :class:`~repro.serving.LoadGenerator`,
-    and returns the :class:`~repro.serving.LoadReport` plus the
+    and returns the :class:`~repro.serving.LoadReport`, the
     probe-configuration mapping for the document's ``serving.probe``
-    field.  ``shards=None`` honours ``REPRO_SERVE_SHARDS`` (default 1
-    — the paper-exact single buffer).
+    field, and the telemetry pointer block for the section's
+    ``telemetry`` field (None when telemetry is off).  ``shards=None``
+    honours ``REPRO_SERVE_SHARDS`` (default 1 — the paper-exact single
+    buffer); ``telemetry_out=None`` honours ``REPRO_SERVE_TELEMETRY``.
+
+    With telemetry on, a :class:`~repro.obs.TelemetrySink` samples the
+    service every ``REPRO_SERVE_TELEMETRY_INTERVAL_MS`` during the
+    run; the stream header carries the probe configuration and the
+    Eq. 5/6 model-predicted hit ratio for the same tree/workload/
+    buffer, so every tick is directly comparable to the paper's curve
+    (``tools/serve_report.py`` renders exactly that comparison).
     """
     try:
         factory = _WORKLOAD_FACTORIES[spec.workload]
@@ -396,11 +410,50 @@ def run_serve_probe(
         arrivals=spec.arrivals,
         key_points=key_points,
     )
+    if telemetry_out is None:
+        telemetry_out = serve_telemetry()
+    sink = None
+    telemetry_ptr = None
+    if telemetry_out is not None:
+        # The Eq. 5/6 prediction for this exact configuration rides in
+        # the stream header: the experiments layer owns the model, the
+        # sink just records the number (obs stays a leaf package).
+        prediction = buffer_model(
+            desc, workload, spec.buffer_size, spec.pinned_levels
+        )
+        p99_target_us, hit_floor, budget = serve_slo()
+        sink = TelemetrySink(
+            service,
+            interval_s=serve_telemetry_interval_s(),
+            slo=SLOMonitor(
+                p99_target_us=p99_target_us,
+                hit_ratio_floor=hit_floor,
+                budget=budget,
+            ),
+            path=telemetry_out,
+            config={**spec.as_dict(), "shards": shards, "workers": workers},
+            model={
+                "hit_ratio": prediction.hit_ratio,
+                "disk_accesses": prediction.disk_accesses,
+                "node_accesses": prediction.node_accesses,
+                "n_star": prediction.n_star,
+            },
+        )
+        service.telemetry = sink
     service.start(workers=workers)
     try:
+        if sink is not None:
+            sink.start()
         report = generator.run()
     finally:
+        if sink is not None:
+            # The generator has drained, so the close-time final tick
+            # carries cumulative counters equal to aggregate_stats() —
+            # the reconciliation the export validator enforces.
+            sink.close()
         service.stop()
+    if sink is not None:
+        telemetry_ptr = sink.pointer()
     if registry is not None:
         registry.counter("serving.queries").inc(report.queries)
         registry.counter("serving.batches").inc(report.batches)
@@ -412,7 +465,11 @@ def run_serve_probe(
         registry.gauge("serving.p99_us").set(
             report.latency_summary_us["p99"]
         )
+        if telemetry_ptr is not None:
+            registry.gauge("serving.telemetry_ticks").set(
+                telemetry_ptr["ticks"]
+            )
     probe = spec.as_dict()
     probe["shards"] = shards
     probe["workers"] = workers
-    return report, probe
+    return report, probe, telemetry_ptr

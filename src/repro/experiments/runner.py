@@ -25,6 +25,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import Callable
 
 from ..obs import (
@@ -134,6 +135,20 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "with --serve: stream live serving telemetry "
+            "(repro-telemetry/1 JSONL, one line per 100 ms tick: "
+            "per-shard hit-ratio deltas, queue depth, windowed "
+            "percentiles, SLO burn) to PATH; with several experiments "
+            "the experiment name is inserted before the suffix; "
+            "defaults to REPRO_SERVE_TELEMETRY; render with "
+            "tools/serve_report.py"
+        ),
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help=(
@@ -146,6 +161,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.serve and args.metrics_out is None:
         parser.error("--serve requires --metrics-out (it only adds a "
                      "'serving' section to the metrics report)")
+    if args.telemetry_out is not None and not args.serve:
+        parser.error("--telemetry-out requires --serve (telemetry "
+                     "samples the serving probe)")
 
     names = list(EXPERIMENTS) if "all" in args.names else args.names
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -192,6 +210,9 @@ def main(argv: list[str] | None = None) -> int:
                         elapsed,
                         args.trace_out,
                         serve=args.serve,
+                        telemetry_out=_telemetry_path(
+                            args.telemetry_out, name, len(names)
+                        ),
                     )
                 )
     finally:
@@ -244,12 +265,28 @@ def _print_profile(report: dict[str, object] | None) -> None:
               f"{site['site']}")
 
 
+def _telemetry_path(
+    telemetry_out: str | None, name: str, n_experiments: int
+) -> str | None:
+    """Per-experiment telemetry path: insert the experiment name.
+
+    One experiment writes to the path verbatim; several would
+    otherwise overwrite each other's streams, so ``telemetry.jsonl``
+    becomes ``telemetry-fig6.jsonl`` and so on.
+    """
+    if telemetry_out is None or n_experiments == 1:
+        return telemetry_out
+    path = Path(telemetry_out)
+    return str(path.with_name(f"{path.stem}-{name}{path.suffix}"))
+
+
 def _collect_metrics(
     name: str,
     result: object,
     wall_seconds: float,
     trace_out: str | None = None,
     serve: bool = False,
+    telemetry_out: str | None = None,
 ) -> dict[str, object]:
     """Build one metrics document, running the experiment's probe."""
     registry = MetricsRegistry()
@@ -274,10 +311,12 @@ def _collect_metrics(
     if serve_spec is not None:
         with span("experiment.serve_probe", experiment=name):
             with registry.timer("serve_probe.wall"):
-                load_report, serve_probe = run_serve_probe(
-                    serve_spec, registry
+                load_report, serve_probe, telemetry_ptr = run_serve_probe(
+                    serve_spec, registry, telemetry_out=telemetry_out
                 )
-        serving = serving_section(load_report, serve_probe)
+        serving = serving_section(
+            load_report, serve_probe, telemetry=telemetry_ptr
+        )
     return experiment_document(
         name=name,
         meta=METAS.get(name, {}),

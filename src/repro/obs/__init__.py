@@ -13,6 +13,11 @@ itself:
 * :class:`LatencyRecorder` — a thread-safe per-query latency
   reservoir with exact nearest-rank percentiles and a log-spaced
   histogram, feeding the serving engine's ``serving`` export section;
+* :class:`TelemetrySink` / :class:`SLOMonitor` — live serving
+  telemetry: fixed-interval sampling of a running ``QueryService``
+  into sliding windows (per-shard hit-ratio deltas, queue depth,
+  windowed percentiles), error-budget burn accounting, and the
+  streaming ``repro-telemetry/1`` JSONL format;
 * :class:`Tracer` / :func:`span` — nested, attributed wall-clock spans
   with Chrome-trace (Perfetto) and folded-flamegraph exporters behind
   ``repro-experiments --trace-out``;
@@ -75,6 +80,13 @@ from .spans import (
     write_chrome_trace,
     write_folded,
 )
+from .telemetry import (
+    TELEMETRY_SCHEMA,
+    SLOMonitor,
+    TelemetrySink,
+    read_telemetry,
+    validate_telemetry,
+)
 from .trace import QueryTrace, QueryTraceEntry
 
 __all__ = [
@@ -94,8 +106,11 @@ __all__ = [
     "QueryTraceEntry",
     "SCHEMA_NAME",
     "SCHEMA_VERSION",
+    "SLOMonitor",
     "Span",
     "SpanNode",
+    "TELEMETRY_SCHEMA",
+    "TelemetrySink",
     "Timer",
     "Tracer",
     "append_entry",
@@ -110,6 +125,7 @@ __all__ = [
     "load_report",
     "metrics_report",
     "parse_chrome_trace",
+    "read_telemetry",
     "serving_section",
     "simulation_section",
     "span",
@@ -119,6 +135,7 @@ __all__ = [
     "validate_bench_report",
     "validate_document",
     "validate_report",
+    "validate_telemetry",
     "write_chrome_trace",
     "write_folded",
     "write_report",

@@ -176,7 +176,8 @@ def sweep_section(
 
 
 def serving_section(
-    report: Any, probe: Mapping[str, Any]
+    report: Any, probe: Mapping[str, Any],
+    telemetry: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """The ``serving`` section of a document, from a load-generator
     :class:`~repro.serving.loadgen.LoadReport`.
@@ -184,8 +185,15 @@ def serving_section(
     ``probe`` records the service configuration the run played
     against (dataset, buffer size, shard count, batching knobs, ...),
     verbatim.  Latency values are microseconds throughout; the buffer
-    block carries the aggregate counters plus the per-shard rows they
-    must sum-reconcile with (checked by :func:`validate_document`).
+    block carries the aggregate counters plus the per-shard rows
+    (``shard_id``, ``capacity``, counters) they must sum-reconcile
+    with (checked by :func:`validate_document`).
+
+    ``telemetry`` is the optional pointer block from
+    :meth:`repro.obs.TelemetrySink.pointer`: the stream path plus the
+    final tick's cumulative counters, which the validator reconciles
+    against this section's buffer stats — the proof that the
+    time-series and the terminal aggregate describe the same run.
     """
     aggregate = dict(report.buffer_aggregate)
     requests = int(aggregate.get("requests", 0))
@@ -211,9 +219,11 @@ def serving_section(
         "histogram_us": sanitize(dict(report.latency_histogram_us)),
         "buffer": {
             "shards": int(report.shards),
+            "capacity": int(report.buffer_capacity),
             "aggregate": aggregate,
             "per_shard": [dict(row) for row in report.buffer_per_shard],
         },
+        "telemetry": dict(telemetry) if telemetry is not None else None,
     }
 
 
@@ -418,6 +428,20 @@ def _validate_serving(serving: Mapping[str, Any]) -> None:
     per_shard = buffer["per_shard"]
     if int(buffer["shards"]) != len(per_shard):
         raise ValueError("per_shard row count != shards")
+    for s, row in enumerate(per_shard):
+        if int(row.get("shard_id", -1)) != s:
+            raise ValueError(
+                f"per_shard row {s} carries shard_id {row.get('shard_id')!r}"
+            )
+        if int(row.get("capacity", 0)) < 1:
+            raise ValueError(f"per_shard row {s} missing a positive capacity")
+    if "capacity" in buffer:
+        capacity_sum = sum(int(row["capacity"]) for row in per_shard)
+        if capacity_sum != int(buffer["capacity"]):
+            raise ValueError(
+                f"per-shard capacities sum to {capacity_sum}, buffer "
+                f"capacity is {buffer['capacity']}"
+            )
     for key in _LEVEL_SUM_KEYS:
         shard_sum = sum(int(row[key]) for row in per_shard)
         if shard_sum != int(aggregate[key]):
@@ -428,6 +452,62 @@ def _validate_serving(serving: Mapping[str, Any]) -> None:
     requests = int(aggregate["requests"])
     if int(aggregate["hits"]) + int(aggregate["misses"]) != requests:
         raise ValueError("serving aggregate hits + misses != requests")
+    telemetry = serving.get("telemetry")
+    if telemetry is not None:
+        _validate_serving_telemetry(telemetry, buffer)
+
+
+def _validate_serving_telemetry(
+    telemetry: Mapping[str, Any], buffer: Mapping[str, Any]
+) -> None:
+    """Reconcile the telemetry pointer against the buffer block.
+
+    The pointer embeds the stream's *final tick* cumulative counters
+    (see ``repro.obs.telemetry``); a run whose telemetry sink took its
+    last tick after the drain must agree with the load report's
+    terminal counters exactly — per shard and in aggregate.  Any
+    difference means the time-series and the aggregate describe
+    different windows, which is a sink bug, not noise.
+    """
+    for key in ("schema", "ticks", "final"):
+        if key not in telemetry:
+            raise ValueError(f"serving telemetry block missing {key!r}")
+    if telemetry["schema"] != "repro-telemetry/1":
+        raise ValueError(
+            f"unsupported telemetry schema {telemetry['schema']!r}"
+        )
+    if int(telemetry["ticks"]) < 1:
+        raise ValueError("telemetry block with no ticks cannot reconcile")
+    path = telemetry.get("path")
+    if path is not None and not isinstance(path, str):
+        raise ValueError("telemetry path must be a string or null")
+    final = telemetry["final"]
+    final_rows = final["shards"]
+    per_shard = buffer["per_shard"]
+    if len(final_rows) != len(per_shard):
+        raise ValueError(
+            f"telemetry final has {len(final_rows)} shard rows, serving "
+            f"buffer has {len(per_shard)}"
+        )
+    for s, (tick_row, shard_row) in enumerate(zip(final_rows, per_shard)):
+        if int(tick_row.get("shard_id", -1)) != s:
+            raise ValueError(
+                f"telemetry final row {s} carries shard_id "
+                f"{tick_row.get('shard_id')!r}"
+            )
+        for key in _LEVEL_SUM_KEYS:
+            if int(tick_row[key]) != int(shard_row[key]):
+                raise ValueError(
+                    f"telemetry final shard {s} {key} {tick_row[key]} != "
+                    f"serving per-shard {shard_row[key]}"
+                )
+    for key in _LEVEL_SUM_KEYS:
+        if int(final["aggregate"][key]) != int(buffer["aggregate"][key]):
+            raise ValueError(
+                f"telemetry final aggregate {key} "
+                f"{final['aggregate'][key]} != serving aggregate "
+                f"{buffer['aggregate'][key]}"
+            )
 
 
 def validate_report(report: Mapping[str, Any]) -> None:

@@ -78,6 +78,26 @@ class LatencyRecorder:
             self._chunks.clear()
             self._count = 0
 
+    def snapshot_and_reset(self) -> np.ndarray:
+        """Atomically take every sample and leave the recorder empty.
+
+        The windowed-sampling primitive: the telemetry sink calls this
+        once per tick to turn "samples since the last tick" into one
+        array.  The swap happens under the recording lock, so a
+        concurrent :meth:`record_many_ns` lands either entirely in
+        this snapshot or entirely in the next one — no chunk is ever
+        split or dropped (``tests/obs/test_latency.py`` soaks this
+        with concurrent writers).  Concatenation happens outside the
+        lock on the now-exclusively-owned chunk list.
+        """
+        with self._lock:
+            chunks = self._chunks
+            self._chunks = []
+            self._count = 0
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------

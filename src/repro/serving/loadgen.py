@@ -78,7 +78,11 @@ class LoadReport:
     buffer_aggregate: dict[str, int]
     """Pool counters summed over shards for the measured window."""
     buffer_per_shard: tuple[dict[str, int], ...] = field(default=())
-    """Per-shard counters; field-wise they sum to the aggregate."""
+    """Per-shard rows: ``shard_id``, ``capacity``, and the counters;
+    counter-wise they sum to the aggregate, capacities to
+    ``buffer_capacity`` (both checked by the export validator)."""
+    buffer_capacity: int = 0
+    """Total pool capacity in pages (the shard capacities sum)."""
 
 
 class LoadGenerator:
@@ -217,6 +221,10 @@ class LoadGenerator:
             latency_histogram_us=service.latency.histogram_us(),
             buffer_aggregate=pool.aggregate_stats().as_dict(),
             buffer_per_shard=tuple(
-                stats.as_dict() for stats in pool.shard_stats()
+                {"shard_id": s, "capacity": int(capacity), **stats.as_dict()}
+                for s, (capacity, stats) in enumerate(
+                    zip(pool.shard_capacities(), pool.shard_stats())
+                )
             ),
+            buffer_capacity=int(pool.capacity),
         )

@@ -88,6 +88,14 @@ class QueryService:
     latency:
         Optional shared :class:`~repro.obs.LatencyRecorder`; one is
         created when omitted.
+    telemetry:
+        Optional duck-typed telemetry sink (see
+        :class:`repro.obs.TelemetrySink`); when set, every served
+        micro-batch calls ``telemetry.observe_batch(latencies_ns)``
+        (None when the caller passed no arrivals).  Same None-default
+        discipline as ``BufferPool.request``'s stats sink: one branch
+        on the hot path, zero cost when absent.  Also settable as a
+        plain attribute after construction.
     """
 
     def __init__(
@@ -104,6 +112,7 @@ class QueryService:
         accel: str = "auto",
         expected_queries: int = 0,
         latency: LatencyRecorder | None = None,
+        telemetry=None,
     ) -> None:
         if isinstance(workload, MixedWorkload):
             raise ValueError(
@@ -132,6 +141,7 @@ class QueryService:
             buffer_size, shards, policy=policy, pinned=pinned_ids
         )
         self.latency = latency if latency is not None else LatencyRecorder()
+        self.telemetry = telemetry
 
         self._totals_lock = threading.Lock()
         self._queries = 0
@@ -161,12 +171,17 @@ class QueryService:
             for ids in sparse.iter_rows():
                 for node_id in ids:
                     request(int(node_id))
+            latencies_ns = None
             if arrivals_ns is not None:
                 done = time.perf_counter_ns()
-                self.latency.record_many_ns(done - arrivals_ns)
+                latencies_ns = done - arrivals_ns
+                self.latency.record_many_ns(latencies_ns)
         with self._totals_lock:
             self._queries += len(points)
             self._batches += 1
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.observe_batch(latencies_ns)
 
     def process(
         self,
@@ -321,6 +336,16 @@ class QueryService:
     def batches_served(self) -> int:
         with self._totals_lock:
             return self._batches
+
+    @property
+    def queue_depth(self) -> int:
+        """Queries waiting in the admission queue right now.
+
+        A telemetry gauge: the sink samples it each tick.  Always 0
+        for purely synchronous (``process``) use.
+        """
+        with self._cond:
+            return len(self._pending)
 
     def aggregate_stats(self) -> BufferStats:
         """The pool's summed counters (see

@@ -365,6 +365,71 @@ class TestShardLockGuards:
             )
 
 
+class TestTelemetryDiscipline:
+    """The telemetry sink's window state is lock-guarded."""
+
+    def make_sink(self, writer=None):
+        from repro.obs.telemetry import TelemetrySink
+        from repro.packing import pack_description
+        from repro.queries import UniformPointWorkload
+        from repro.serving import QueryService
+        from tests.conftest import random_rects
+
+        rects = random_rects(np.random.default_rng(23), 400, max_side=0.04)
+        desc = pack_description(rects, capacity=16, ordering="hs")
+        service = QueryService(
+            desc, UniformPointWorkload(), 16, shards=2, max_batch=64
+        )
+        return service, TelemetrySink(service, writer=writer)
+
+    def test_unguarded_window_mutation_raises(self, sanitizer):
+        _, sink = self.make_sink()
+        with pytest.raises(SanitizerError, match="_window_deltas"):
+            sink._window_deltas.append((1, 1, 0))
+
+    def test_guarded_mutation_is_allowed(self, sanitizer):
+        _, sink = self.make_sink()
+        with sink._lock:
+            sink._window_deltas.append((1, 1, 0))
+        assert len(sink._window_deltas) == 1
+
+    def test_tick_path_stays_legal(self, sanitizer):
+        service, sink = self.make_sink()
+        rng = np.random.default_rng(2)
+        for _ in range(3):
+            service.process(
+                service.workload.sample_points(100, rng)
+            )
+            tick = sink.tick()
+        assert tick["seq"] == 2
+        assert (
+            tick["cumulative"]["aggregate"]["requests"]
+            == service.pool.aggregate_stats().requests
+        )
+
+    def test_concurrent_serving_with_ticker_stays_legal(self, sanitizer):
+        from repro.serving import LoadGenerator
+
+        service, sink = self.make_sink()
+        service.telemetry = sink
+        generator = LoadGenerator(
+            service, rate_qps=50_000, n_queries=400, seed=3
+        )
+        sink.interval_s = 0.005
+        service.start(workers=2)
+        sink.start()
+        try:
+            report = generator.run()
+        finally:
+            sink.close()
+            service.stop()
+        assert report.queries == 400
+        pointer = sink.pointer()
+        assert pointer["final"]["aggregate"] == (
+            service.pool.aggregate_stats().as_dict()
+        )
+
+
 class TestInstallLifecycle:
     def test_install_is_idempotent(self, sanitizer):
         sanitize.install()  # second call must not double-wrap

@@ -4,6 +4,7 @@ from dataclasses import dataclass
 
 import pytest
 
+from repro.experiments.common import get_description
 from repro.experiments.probes import (
     METRICS_PROBES,
     SERVE_PROBES,
@@ -13,7 +14,9 @@ from repro.experiments.probes import (
     run_serve_probe,
 )
 from repro.experiments.runner import EXPERIMENTS, METAS, main
-from repro.obs import MetricsRegistry, load_report
+from repro.model import buffer_model
+from repro.obs import MetricsRegistry, load_report, read_telemetry
+from repro.queries import UniformPointWorkload
 
 TINY_PROBE = ProbeSpec("point", 400, 10, "hs", "uniform-point", 10)
 """A probe small enough for the unit-test budget."""
@@ -112,20 +115,45 @@ class TestServeMode:
 
     def test_run_serve_probe_produces_report(self):
         registry = MetricsRegistry()
-        report, probe = run_serve_probe(TINY_SERVE_PROBE, registry)
+        report, probe, telemetry = run_serve_probe(TINY_SERVE_PROBE, registry)
         assert report.queries == 150
         assert report.shards == 1
         assert probe["dataset"] == "point"
         assert probe["shards"] == 1
+        assert telemetry is None  # off by default
         metrics = registry.to_dict()
         assert metrics["counters"]["serving.queries"] == 150
         assert metrics["gauges"]["serving.p99_us"] > 0
 
     def test_serve_honours_shard_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_SERVE_SHARDS", "2")
-        report, probe = run_serve_probe(TINY_SERVE_PROBE)
+        report, probe, _ = run_serve_probe(TINY_SERVE_PROBE)
         assert report.shards == 2
         assert probe["shards"] == 2
+
+    def test_serve_probe_streams_telemetry(self, tmp_path):
+        stream = tmp_path / "telemetry.jsonl"
+        report, probe, telemetry = run_serve_probe(
+            TINY_SERVE_PROBE, telemetry_out=str(stream)
+        )
+        assert telemetry is not None
+        assert telemetry["path"] == str(stream)
+        header, ticks = read_telemetry(stream)  # validates every invariant
+        assert header["model"]["hit_ratio"] == pytest.approx(
+            buffer_model(
+                get_description("point", 400, 10, "hs"),
+                UniformPointWorkload(),
+                TINY_SERVE_PROBE.buffer_size,
+            ).hit_ratio
+        )
+        final = ticks[-1]["cumulative"]["aggregate"]
+        assert final == report.buffer_aggregate
+
+    def test_serve_probe_honours_telemetry_env(self, tmp_path, monkeypatch):
+        stream = tmp_path / "env-telemetry.jsonl"
+        monkeypatch.setenv("REPRO_SERVE_TELEMETRY", str(stream))
+        _, _, telemetry = run_serve_probe(TINY_SERVE_PROBE)
+        assert telemetry is not None and stream.exists()
 
     def test_serve_requires_metrics_out(self, stub_experiment, capsys):
         with pytest.raises(SystemExit):
@@ -154,3 +182,48 @@ class TestServeMode:
         assert main(["--metrics-out", str(path), "fig5"]) == 0
         (doc,) = load_report(path)["documents"]
         assert doc["serving"] is None
+
+
+class TestTelemetryOut:
+    def test_telemetry_requires_serve(self, stub_experiment, capsys):
+        with pytest.raises(SystemExit):
+            main(["--metrics-out", "x.json", "--telemetry-out", "t.jsonl",
+                  "fig5"])
+        assert "--serve" in capsys.readouterr().err
+
+    def test_telemetry_stream_reconciles_with_document(
+        self, tmp_path, stub_experiment
+    ):
+        metrics = tmp_path / "out.json"
+        stream = tmp_path / "telemetry.jsonl"
+        assert main([
+            "--serve", "--metrics-out", str(metrics),
+            "--telemetry-out", str(stream), "fig5",
+        ]) == 0
+        (doc,) = load_report(metrics)["documents"]  # validates on load,
+        # including the telemetry-vs-buffer reconciliation
+        telemetry = doc["serving"]["telemetry"]
+        assert telemetry is not None
+        assert telemetry["path"] == str(stream)
+        header, ticks = read_telemetry(stream)
+        assert header["config"]["dataset"] == "point"
+        assert (
+            ticks[-1]["cumulative"]["aggregate"]["requests"]
+            == doc["serving"]["buffer"]["aggregate"]["requests"]
+        )
+
+    def test_multiple_experiments_get_distinct_streams(
+        self, tmp_path, stub_experiment, monkeypatch
+    ):
+        monkeypatch.setitem(EXPERIMENTS, "fig6", lambda: _StubResult(2.5))
+        monkeypatch.setitem(METRICS_PROBES, "fig6", TINY_PROBE)
+        monkeypatch.setitem(SERVE_PROBES, "fig6", TINY_SERVE_PROBE)
+        metrics = tmp_path / "out.json"
+        stream = tmp_path / "telemetry.jsonl"
+        assert main([
+            "--serve", "--metrics-out", str(metrics),
+            "--telemetry-out", str(stream), "fig5", "fig6",
+        ]) == 0
+        assert (tmp_path / "telemetry-fig5.jsonl").exists()
+        assert (tmp_path / "telemetry-fig6.jsonl").exists()
+        assert not stream.exists()

@@ -154,15 +154,49 @@ class TestServingSection:
                 "requests": 30, "hits": 12, "misses": 18, "evictions": 5,
             },
             buffer_per_shard=(
-                {"requests": 18, "hits": 7, "misses": 11, "evictions": 3},
-                {"requests": 12, "hits": 5, "misses": 7, "evictions": 2},
+                {
+                    "shard_id": 0, "capacity": 10,
+                    "requests": 18, "hits": 7, "misses": 11, "evictions": 3,
+                },
+                {
+                    "shard_id": 1, "capacity": 10,
+                    "requests": 12, "hits": 5, "misses": 7, "evictions": 2,
+                },
             ),
+            buffer_capacity=20,
         )
 
-    def make_document(self, **section_overrides):
+    def make_telemetry(self):
+        """A pointer block that reconciles with :meth:`make_report`."""
+        return {
+            "schema": "repro-telemetry/1",
+            "path": "telemetry.jsonl",
+            "interval_s": 0.1,
+            "ticks": 3,
+            "final": {
+                "aggregate": {
+                    "requests": 30, "hits": 12, "misses": 18,
+                    "evictions": 5,
+                },
+                "shards": [
+                    {
+                        "shard_id": 0, "requests": 18, "hits": 7,
+                        "misses": 11, "evictions": 3,
+                    },
+                    {
+                        "shard_id": 1, "requests": 12, "hits": 5,
+                        "misses": 7, "evictions": 2,
+                    },
+                ],
+            },
+        }
+
+    def make_document(self, telemetry=None, **section_overrides):
         from repro.obs import serving_section
 
-        section = serving_section(self.make_report(), {"dataset": "x"})
+        section = serving_section(
+            self.make_report(), {"dataset": "x"}, telemetry=telemetry
+        )
         section.update(section_overrides)
         return experiment_document(
             name="fake",
@@ -226,6 +260,63 @@ class TestServingSection:
         doc = self.make_document()
         doc["serving"]["buffer"]["per_shard"][0]["hits"] += 1
         with pytest.raises(ValueError):
+            validate_document(doc)
+
+    def test_shard_id_mismatch_rejected(self):
+        doc = self.make_document()
+        doc["serving"]["buffer"]["per_shard"][1]["shard_id"] = 0
+        with pytest.raises(ValueError, match="shard_id"):
+            validate_document(doc)
+
+    def test_capacity_sum_mismatch_rejected(self):
+        doc = self.make_document()
+        doc["serving"]["buffer"]["per_shard"][0]["capacity"] = 11
+        with pytest.raises(ValueError, match="capacit"):
+            validate_document(doc)
+
+    def test_missing_shard_capacity_rejected(self):
+        doc = self.make_document()
+        del doc["serving"]["buffer"]["per_shard"][0]["capacity"]
+        with pytest.raises(ValueError, match="capacity"):
+            validate_document(doc)
+
+    def test_reconciling_telemetry_pointer_passes(self):
+        doc = self.make_document(telemetry=self.make_telemetry())
+        validate_document(doc)
+
+    def test_telemetry_aggregate_mismatch_rejected(self):
+        telemetry = self.make_telemetry()
+        telemetry["final"]["aggregate"]["hits"] += 1
+        doc = self.make_document(telemetry=telemetry)
+        with pytest.raises(ValueError, match="telemetry final aggregate"):
+            validate_document(doc)
+
+    def test_telemetry_shard_row_mismatch_rejected(self):
+        telemetry = self.make_telemetry()
+        telemetry["final"]["shards"][1]["requests"] -= 1
+        doc = self.make_document(telemetry=telemetry)
+        with pytest.raises(ValueError, match="telemetry final shard"):
+            validate_document(doc)
+
+    def test_telemetry_shard_count_mismatch_rejected(self):
+        telemetry = self.make_telemetry()
+        telemetry["final"]["shards"].pop()
+        doc = self.make_document(telemetry=telemetry)
+        with pytest.raises(ValueError, match="shard rows"):
+            validate_document(doc)
+
+    def test_telemetry_wrong_schema_rejected(self):
+        telemetry = self.make_telemetry()
+        telemetry["schema"] = "repro-telemetry/9"
+        doc = self.make_document(telemetry=telemetry)
+        with pytest.raises(ValueError, match="telemetry schema"):
+            validate_document(doc)
+
+    def test_telemetry_without_ticks_rejected(self):
+        telemetry = self.make_telemetry()
+        telemetry["ticks"] = 0
+        doc = self.make_document(telemetry=telemetry)
+        with pytest.raises(ValueError, match="ticks"):
             validate_document(doc)
 
     def test_unbalanced_aggregate_rejected(self):

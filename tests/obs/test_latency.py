@@ -50,6 +50,66 @@ class TestRecording:
         assert recorder.count == 4000
 
 
+class TestSnapshotAndReset:
+    def test_drains_everything_and_resets(self):
+        recorder = LatencyRecorder()
+        recorder.record_many_ns(np.array([3000, 1000, 2000], dtype=np.int64))
+        taken = recorder.snapshot_and_reset()
+        assert sorted(taken.tolist()) == [1000, 2000, 3000]
+        assert recorder.count == 0
+        assert recorder.samples_ns().size == 0
+
+    def test_empty_snapshot_is_an_empty_array(self):
+        recorder = LatencyRecorder()
+        taken = recorder.snapshot_and_reset()
+        assert taken.size == 0 and taken.dtype == np.int64
+
+    def test_second_snapshot_sees_only_new_samples(self):
+        recorder = LatencyRecorder()
+        recorder.record_ns(1000)
+        recorder.snapshot_and_reset()
+        recorder.record_ns(2000)
+        assert recorder.snapshot_and_reset().tolist() == [2000]
+
+    def test_concurrent_soak_loses_nothing(self):
+        # Writers race a snapshotter: every recorded sample must land
+        # in exactly one snapshot (or the final remainder) — the swap
+        # is atomic, so no chunk may be split or dropped.  Runs under
+        # REPRO_SANITIZE=1 in CI like the rest of the suite.
+        recorder = LatencyRecorder()
+        n_writers, per_writer = 4, 2000
+        collected: list[np.ndarray] = []
+        done = threading.Event()
+
+        def write(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            for chunk in np.array_split(
+                rng.integers(1, 10**6, per_writer), 50
+            ):
+                recorder.record_many_ns(chunk.astype(np.int64))
+
+        def snapshot() -> None:
+            while not done.is_set():
+                collected.append(recorder.snapshot_and_reset())
+
+        writers = [
+            threading.Thread(target=write, args=(seed,))
+            for seed in range(n_writers)
+        ]
+        taker = threading.Thread(target=snapshot)
+        taker.start()
+        for t in writers:
+            t.start()
+        for t in writers:
+            t.join()
+        done.set()
+        taker.join()
+        collected.append(recorder.snapshot_and_reset())
+        total = sum(chunk.size for chunk in collected)
+        assert total == n_writers * per_writer
+        assert recorder.count == 0
+
+
 class TestPercentiles:
     def test_nearest_rank_exact(self):
         recorder = LatencyRecorder()

@@ -1,0 +1,444 @@
+"""The telemetry stream: SLO accounting, tick invariants, model convergence.
+
+Everything here drives the sink *synchronously* — ``service.process``
+plus explicit ``sink.tick()`` calls under an injected fake clock — so
+tick contents are deterministic and the stream can be compared
+byte-for-byte across runs.  The background ticker gets one smoke test;
+its arithmetic is the same code path.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthetic_region
+from repro.model import buffer_model
+from repro.obs import (
+    SLOMonitor,
+    TelemetrySink,
+    read_telemetry,
+    validate_telemetry,
+)
+from repro.packing import load_description, pack_description
+from repro.queries import UniformPointWorkload
+from repro.serving import QueryService
+from tests.conftest import random_rects
+
+
+class FakeClock:
+    """A monotonic ns clock advanced by hand: ticks land where we say."""
+
+    def __init__(self, start_ns: int = 1_000_000) -> None:
+        self.now_ns = start_ns
+
+    def __call__(self) -> int:
+        return self.now_ns
+
+    def advance_ms(self, ms: float) -> None:
+        self.now_ns += int(ms * 1e6)
+
+
+@pytest.fixture(scope="module")
+def desc():
+    rng = np.random.default_rng(42)
+    return pack_description(random_rects(rng, 600), 10, "hs")
+
+
+def make_service(desc, *, shards=2, buffer_size=16, **kwargs):
+    return QueryService(
+        desc, UniformPointWorkload(), buffer_size, shards=shards, **kwargs
+    )
+
+
+def drive(service, sink, clock, *, ticks=5, queries_per_tick=100, seed=0):
+    """Serve then sample, ``ticks`` times, 100 ms apart on the fake clock."""
+    rng = np.random.default_rng(seed)
+    for _ in range(ticks):
+        points = service.workload.sample_points(queries_per_tick, rng)
+        service.process(points)
+        clock.advance_ms(100.0)
+        sink.tick()
+
+
+class TestSLOMonitor:
+    def test_needs_at_least_one_target(self):
+        with pytest.raises(ValueError, match="at least one target"):
+            SLOMonitor()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"p99_target_us": 0.0},
+            {"p99_target_us": -5.0},
+            {"hit_ratio_floor": 1.5},
+            {"hit_ratio_floor": -0.1},
+            {"p99_target_us": 100.0, "budget": 0.0},
+            {"p99_target_us": 100.0, "budget": 1.5},
+            {"p99_target_us": 100.0, "window": 0},
+        ],
+    )
+    def test_invalid_configuration_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SLOMonitor(**kwargs)
+
+    def test_burn_accounting(self):
+        slo = SLOMonitor(p99_target_us=100.0, budget=0.25, window=2)
+        good = slo.observe(p99_us=50.0, hit_ratio=None, requests=10)
+        assert good["counted"] and not good["bad"]
+        bad = slo.observe(p99_us=150.0, hit_ratio=None, requests=10)
+        assert bad["bad"] and bad["p99_violation"]
+        summary = slo.summary()
+        assert summary["ticks"] == 2 and summary["bad_ticks"] == 1
+        assert summary["bad_fraction"] == 0.5
+        assert summary["burn_rate"] == pytest.approx(0.5 / 0.25)
+        assert summary["budget_exhausted"]
+
+    def test_window_burn_uses_trailing_ticks_only(self):
+        slo = SLOMonitor(p99_target_us=100.0, budget=1.0, window=2)
+        slo.observe(p99_us=500.0, hit_ratio=None, requests=1)  # bad
+        slo.observe(p99_us=1.0, hit_ratio=None, requests=1)
+        slo.observe(p99_us=1.0, hit_ratio=None, requests=1)
+        summary = slo.summary()
+        assert summary["window_burn_rate"] == 0.0  # bad tick aged out
+        assert summary["bad_fraction"] == pytest.approx(1 / 3)
+
+    def test_hit_ratio_floor_violation(self):
+        slo = SLOMonitor(hit_ratio_floor=0.5)
+        status = slo.observe(p99_us=None, hit_ratio=0.3, requests=10)
+        assert status["bad"] and status["hit_ratio_violation"]
+
+    def test_idle_ticks_are_not_counted(self):
+        slo = SLOMonitor(p99_target_us=100.0)
+        status = slo.observe(p99_us=900.0, hit_ratio=None, requests=0)
+        assert not status["counted"] and not status["bad"]
+        assert slo.summary()["ticks"] == 0
+
+    def test_absent_signals_never_burn(self):
+        slo = SLOMonitor(p99_target_us=100.0, hit_ratio_floor=0.9)
+        status = slo.observe(p99_us=None, hit_ratio=None, requests=10)
+        assert status["counted"] and not status["bad"]
+
+
+class TestSinkValidation:
+    def test_path_and_writer_are_exclusive(self, desc, tmp_path):
+        service = make_service(desc)
+        with pytest.raises(ValueError, match="not both"):
+            TelemetrySink(
+                service,
+                path=str(tmp_path / "t.jsonl"),
+                writer=io.StringIO(),
+            )
+
+    def test_bad_interval_rejected(self, desc):
+        with pytest.raises(ValueError, match="interval"):
+            TelemetrySink(make_service(desc), interval_s=0.0)
+
+    def test_bad_window_rejected(self, desc):
+        with pytest.raises(ValueError, match="window"):
+            TelemetrySink(make_service(desc), window=0)
+
+    def test_double_start_rejected(self, desc):
+        sink = TelemetrySink(make_service(desc), interval_s=60.0)
+        sink.start()
+        try:
+            with pytest.raises(RuntimeError, match="started"):
+                sink.start()
+        finally:
+            sink.close()
+
+
+class TestSyncDrive:
+    """Deterministic tick contents under process() + a fake clock."""
+
+    def make_stream(self, desc, *, shards=2, ticks=5, seed=0, window=3):
+        clock = FakeClock()
+        service = make_service(desc, shards=shards)
+        out = io.StringIO()
+        sink = TelemetrySink(
+            service, window=window, writer=out, clock=clock,
+            config={"dataset": "unit"},
+            model={"hit_ratio": 0.5},
+        )
+        service.telemetry = sink
+        drive(service, sink, clock, ticks=ticks, seed=seed)
+        return service, out.getvalue()
+
+    def parse(self, text):
+        lines = [json.loads(line) for line in text.splitlines()]
+        return lines[0], lines[1:]
+
+    def test_header_then_ticks_round_trip(self, desc):
+        service, text = self.make_stream(desc)
+        header, ticks = self.parse(text)
+        validate_telemetry(header, ticks)
+        assert header["shards"] == 2
+        assert header["capacity"] == service.pool.capacity
+        assert header["shard_capacities"] == list(
+            service.pool.shard_capacities()
+        )
+        assert header["policy"] == service.pool.policy
+        assert header["config"] == {"dataset": "unit"}
+        assert header["model"] == {"hit_ratio": 0.5}
+        assert len(ticks) == 5
+        assert [t["seq"] for t in ticks] == list(range(5))
+        assert ticks[0]["elapsed_s"] == pytest.approx(0.1)
+
+    def test_stream_is_deterministic(self, desc):
+        _, first = self.make_stream(desc, seed=9)
+        _, second = self.make_stream(desc, seed=9)
+        assert first == second  # byte-identical JSONL
+
+    @pytest.mark.parametrize("shards", [1, 2, 8])
+    def test_tick_sums_reconcile(self, desc, shards):
+        service, text = self.make_stream(desc, shards=shards, ticks=4)
+        header, ticks = self.parse(text)
+        validate_telemetry(header, ticks)
+        final = ticks[-1]["cumulative"]
+        agg = service.pool.aggregate_stats().as_dict()
+        assert final["aggregate"] == agg
+        per_shard = [s.as_dict() for s in service.pool.shard_stats()]
+        for row, stats in zip(final["shards"], per_shard):
+            assert {f: row[f] for f in stats} == stats
+        # Delta ticks sum to the final cumulative aggregate.
+        for field in ("requests", "hits", "misses", "evictions"):
+            assert sum(t["aggregate"][field] for t in ticks) == agg[field]
+
+    def test_window_is_a_sliding_sum(self, desc):
+        _, text = self.make_stream(desc, ticks=5, window=3)
+        _, ticks = self.parse(text)
+        last = ticks[-1]
+        tail = ticks[-3:]
+        assert last["window"]["ticks"] == 3
+        assert last["window"]["requests"] == sum(
+            t["aggregate"]["requests"] for t in tail
+        )
+        assert last["window"]["hit_ratio"] == pytest.approx(
+            sum(t["aggregate"]["hits"] for t in tail)
+            / sum(t["aggregate"]["requests"] for t in tail)
+        )
+
+    def test_idle_tick_carries_no_signals(self, desc):
+        clock = FakeClock()
+        service = make_service(desc)
+        out = io.StringIO()
+        sink = TelemetrySink(service, writer=out, clock=clock)
+        clock.advance_ms(100.0)
+        tick = sink.tick()  # no traffic yet
+        assert tick["queries"] == 0
+        assert tick["latency_us"] is None
+        assert tick["batch_occupancy"] is None
+        assert tick["window"]["hit_ratio"] is None
+        header, ticks = self.parse(out.getvalue())
+        validate_telemetry(header, ticks)
+
+    def test_counter_reset_rebases_the_tick(self, desc):
+        clock = FakeClock()
+        service = make_service(desc)
+        sink = TelemetrySink(service, writer=io.StringIO(), clock=clock)
+        rng = np.random.default_rng(3)
+        service.process(service.workload.sample_points(200, rng))
+        clock.advance_ms(100.0)
+        first = sink.tick()
+        assert not first["rebased"]
+        service.reset_measurement()  # warm-up boundary: counters zeroed
+        service.process(service.workload.sample_points(50, rng))
+        clock.advance_ms(100.0)
+        second = sink.tick()
+        assert second["rebased"]
+        assert second["aggregate"]["requests"] == second["cumulative"][
+            "aggregate"
+        ]["requests"]
+        validate_telemetry(sink.header, [first, second])
+
+    def test_pointer_reflects_the_last_tick(self, desc):
+        clock = FakeClock()
+        service = make_service(desc)
+        sink = TelemetrySink(service, writer=io.StringIO(), clock=clock)
+        assert sink.pointer() is None  # nothing to reconcile yet
+        drive(service, sink, clock, ticks=2)
+        pointer = sink.pointer()
+        assert pointer["ticks"] == 2
+        assert pointer["path"] is None
+        assert (
+            pointer["final"]["aggregate"]
+            == service.pool.aggregate_stats().as_dict()
+        )
+
+    def test_slo_block_lands_in_ticks_and_header(self, desc):
+        clock = FakeClock()
+        service = make_service(desc)
+        slo = SLOMonitor(p99_target_us=1e9, hit_ratio_floor=0.0)
+        out = io.StringIO()
+        sink = TelemetrySink(service, writer=out, slo=slo, clock=clock)
+        drive(service, sink, clock, ticks=3)
+        header, ticks = self.parse(out.getvalue())
+        validate_telemetry(header, ticks)
+        assert header["slo"]["p99_target_us"] == 1e9
+        last = ticks[-1]["slo"]
+        assert last["ticks"] == 3 and last["bad_ticks"] == 0
+        assert not last["budget_exhausted"]
+
+    def test_file_round_trip_matches_memory(self, desc, tmp_path):
+        path = tmp_path / "t.jsonl"
+        clock = FakeClock()
+        service = make_service(desc)
+        with TelemetrySink(service, path=str(path), clock=clock) as sink:
+            service.telemetry = sink
+            drive(service, sink, clock, ticks=3)
+        header, ticks = read_telemetry(str(path))
+        assert header == sink.header
+        assert len(ticks) == 4  # 3 driven + the final close() tick
+        assert (
+            ticks[-1]["cumulative"]["aggregate"]
+            == service.pool.aggregate_stats().as_dict()
+        )
+
+
+class TestBackgroundTicker:
+    def test_ticker_samples_and_close_is_idempotent(self, desc, tmp_path):
+        path = tmp_path / "bg.jsonl"
+        service = make_service(desc)
+        sink = TelemetrySink(service, interval_s=0.005, path=str(path))
+        service.telemetry = sink
+        sink.start()
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            service.process(service.workload.sample_points(50, rng))
+        sink.close()
+        sink.close()  # second close is a no-op
+        header, ticks = read_telemetry(str(path))
+        assert ticks  # at least the final tick
+        assert (
+            ticks[-1]["cumulative"]["aggregate"]
+            == service.pool.aggregate_stats().as_dict()
+        )
+
+
+class TestAcceptance:
+    """ISSUE acceptance: reconciliation, model convergence, zero impact."""
+
+    def test_windowed_hit_ratio_converges_to_model(self):
+        # The Table 1 validation config at test scale: 20k rects, HS
+        # packing, point queries — a tree the independence assumption
+        # behind Eq. 5/6 holds on.  Enough post-warm-up traffic that
+        # the trailing window *is* the predicted steady state.
+        data = synthetic_region(20_000, rng=101)
+        region_desc = load_description("hs", data, 50)
+        workload = UniformPointWorkload()
+        buffer_size = 40
+        predicted = buffer_model(region_desc, workload, buffer_size).hit_ratio
+        clock = FakeClock()
+        service = QueryService(
+            region_desc, workload, buffer_size, shards=2
+        )
+        out = io.StringIO()
+        sink = TelemetrySink(
+            service, window=20, writer=out, clock=clock,
+            model={"hit_ratio": predicted},
+        )
+        service.telemetry = sink
+        drive(service, sink, clock, ticks=40, queries_per_tick=500, seed=11)
+        header, ticks = (
+            json.loads(out.getvalue().splitlines()[0]),
+            [json.loads(s) for s in out.getvalue().splitlines()[1:]],
+        )
+        validate_telemetry(header, ticks)
+        final_ratio = ticks[-1]["window"]["hit_ratio"]
+        assert abs(final_ratio - predicted) <= 0.02  # the paper's band
+
+    def test_telemetry_leaves_serving_outputs_identical(self, desc):
+        def run(with_sink):
+            service = make_service(desc, shards=2)
+            if with_sink:
+                clock = FakeClock()
+                sink = TelemetrySink(
+                    service, writer=io.StringIO(), clock=clock
+                )
+                service.telemetry = sink
+            rng = np.random.default_rng(5)
+            for _ in range(4):
+                service.process(service.workload.sample_points(200, rng))
+                if with_sink:
+                    clock.advance_ms(100.0)
+                    service.telemetry.tick()
+            return (
+                service.queries_served,
+                service.batches_served,
+                service.pool.aggregate_stats().as_dict(),
+                [s.as_dict() for s in service.pool.shard_stats()],
+            )
+
+        assert run(with_sink=False) == run(with_sink=True)
+
+
+class TestValidateRejections:
+    def make_valid(self, desc):
+        clock = FakeClock()
+        service = make_service(desc)
+        out = io.StringIO()
+        sink = TelemetrySink(service, writer=out, clock=clock)
+        drive(service, sink, clock, ticks=3)
+        lines = [json.loads(s) for s in out.getvalue().splitlines()]
+        return lines[0], lines[1:]
+
+    def test_wrong_schema_rejected(self, desc):
+        header, ticks = self.make_valid(desc)
+        header["schema"] = "repro-telemetry/9"
+        with pytest.raises(ValueError, match="schema"):
+            validate_telemetry(header, ticks)
+
+    def test_capacity_sum_mismatch_rejected(self, desc):
+        header, ticks = self.make_valid(desc)
+        header["shard_capacities"][0] += 1
+        with pytest.raises(ValueError, match="capacit"):
+            validate_telemetry(header, ticks)
+
+    def test_seq_gap_rejected(self, desc):
+        header, ticks = self.make_valid(desc)
+        ticks[1]["seq"] = 5
+        with pytest.raises(ValueError, match="seq"):
+            validate_telemetry(header, ticks)
+
+    def test_shard_sum_drift_rejected(self, desc):
+        header, ticks = self.make_valid(desc)
+        ticks[0]["shards"][0]["hits"] += 1
+        with pytest.raises(ValueError):
+            validate_telemetry(header, ticks)
+
+    def test_cumulative_additivity_enforced(self, desc):
+        header, ticks = self.make_valid(desc)
+        last = ticks[-1]["cumulative"]
+        last["shards"][0]["requests"] += 1
+        last["shards"][0]["hits"] += 1
+        last["aggregate"]["requests"] += 1
+        last["aggregate"]["hits"] += 1
+        with pytest.raises(ValueError, match="cumulative"):
+            validate_telemetry(header, ticks)
+
+    def test_window_sum_drift_rejected(self, desc):
+        header, ticks = self.make_valid(desc)
+        ticks[-1]["window"]["requests"] += 1
+        with pytest.raises(ValueError, match="window"):
+            validate_telemetry(header, ticks)
+
+    def test_occupancy_drift_rejected(self, desc):
+        header, ticks = self.make_valid(desc)
+        ticks[0]["batch_occupancy"] = 1.0
+        with pytest.raises(ValueError, match="occupancy"):
+            validate_telemetry(header, ticks)
+
+    def test_empty_stream_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_telemetry(str(path))
+
+    def test_tick_first_stream_rejected(self, desc):
+        header, ticks = self.make_valid(desc)
+        header["kind"] = "tick"
+        with pytest.raises(ValueError, match="header"):
+            validate_telemetry(header, ticks)

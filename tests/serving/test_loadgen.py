@@ -145,6 +145,23 @@ class TestRun:
                 s[field] for s in report.buffer_per_shard
             )
 
+    def test_per_shard_rows_carry_identity_and_capacity(self, desc):
+        service = make_service(desc, shards=3)
+        generator = LoadGenerator(
+            service, rate_qps=50_000, n_queries=300, seed=4
+        )
+        with service:
+            report = generator.run()
+        assert report.buffer_capacity == service.pool.capacity
+        assert [row["shard_id"] for row in report.buffer_per_shard] == [
+            0, 1, 2,
+        ]
+        capacities = list(service.pool.shard_capacities())
+        assert [
+            row["capacity"] for row in report.buffer_per_shard
+        ] == capacities
+        assert sum(capacities) == report.buffer_capacity
+
     def test_run_resets_measurement_window(self, desc):
         service = make_service(desc, max_batch=32)
         warm = UniformPointWorkload().sample_points(
