@@ -48,7 +48,81 @@ import numpy as np
 from .base import BufferPool, BufferStats, PageId, PinningError
 from .policies import POLICIES
 
-__all__ = ["ShardedBufferPool"]
+__all__ = ["ShardedBufferPool", "build_shard_pool", "plan_shard_split"]
+
+
+def plan_shard_split(
+    capacity: int,
+    shards: int,
+    policy: str,
+    pinned: Iterable[PageId],
+) -> tuple[frozenset[PageId], list[int], list[list[PageId]]]:
+    """Validate and split a pool configuration across ``K`` shards.
+
+    Returns ``(pinned_set, shard_capacities, per_shard_pins)`` where
+    shard ``s`` gets ``capacity // K`` pages plus one of the
+    ``capacity % K`` remainder pages (lowest shards first) and the
+    pins hashed to it.  This is the *single* source of the split: the
+    in-process :class:`ShardedBufferPool` and the process-per-shard
+    topology (``repro.serving.workers``) both build from it, so their
+    per-shard pools are structurally identical by construction.
+    """
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    if capacity < shards:
+        raise ValueError(
+            f"cannot split {capacity} pages across {shards} shards "
+            "(each shard needs at least one page)"
+        )
+    if policy not in POLICIES:
+        raise ValueError(
+            f"unknown policy {policy!r}; choices: {sorted(POLICIES)}"
+        )
+    pinned_set = frozenset(pinned)
+    if len(pinned_set) > capacity:
+        raise PinningError(
+            f"cannot pin {len(pinned_set)} pages in a "
+            f"{capacity}-page buffer"
+        )
+    per_shard_pins: list[list[PageId]] = [[] for _ in range(shards)]
+    for page in pinned_set:
+        per_shard_pins[hash(page) % shards].append(page)
+    base, extra = divmod(capacity, shards)
+    shard_capacities = [base + (1 if s < extra else 0) for s in range(shards)]
+    for s, (shard_capacity, pins) in enumerate(
+        zip(shard_capacities, per_shard_pins)
+    ):
+        if len(pins) > shard_capacity:
+            raise PinningError(
+                f"shard {s} holds {len(pins)} pinned pages but only "
+                f"{shard_capacity} slots; repartition or grow the "
+                "buffer"
+            )
+    return pinned_set, shard_capacities, per_shard_pins
+
+
+def build_shard_pool(
+    shard_capacity: int,
+    pins: Iterable[PageId],
+    policy: str,
+    *,
+    shard: int,
+    rng: int = 0,
+) -> BufferPool:
+    """One shard's policy pool, seeded per shard for ``random``.
+
+    Shard ``s`` of a ``random`` pool draws from an independent
+    generator seeded ``rng + s`` — the same recipe whether the pool
+    lives in this process or in a fork worker, which is what keeps the
+    process topology bit-exact against :class:`ShardedBufferPool`.
+    """
+    if policy == "random":
+        return POLICIES["random"](
+            shard_capacity,
+            pins,
+            rng=np.random.default_rng(int(rng) + shard),
+        )
+    return POLICIES[policy](shard_capacity, pins)
 
 
 class ShardedBufferPool:
@@ -83,53 +157,21 @@ class ShardedBufferPool:
         pinned: Iterable[PageId] = (),
         rng: int = 0,
     ) -> None:
-        if shards < 1:
-            raise ValueError("need at least one shard")
-        if capacity < shards:
-            raise ValueError(
-                f"cannot split {capacity} pages across {shards} shards "
-                "(each shard needs at least one page)"
-            )
-        if policy not in POLICIES:
-            raise ValueError(
-                f"unknown policy {policy!r}; choices: {sorted(POLICIES)}"
-            )
+        pinned_set, shard_capacities, per_shard_pinned = plan_shard_split(
+            capacity, shards, policy, pinned
+        )
         self.capacity = int(capacity)
         self.n_shards = int(shards)
         self.policy = policy
-
-        pinned_set = frozenset(pinned)
-        if len(pinned_set) > capacity:
-            raise PinningError(
-                f"cannot pin {len(pinned_set)} pages in a "
-                f"{capacity}-page buffer"
-            )
         self.pinned = pinned_set
-        per_shard_pinned: list[list[PageId]] = [[] for _ in range(shards)]
-        for page in pinned_set:
-            per_shard_pinned[self.shard_of(page)].append(page)
-
-        base, extra = divmod(capacity, shards)
-        pools: list[BufferPool] = []
-        for s in range(shards):
-            shard_capacity = base + (1 if s < extra else 0)
-            pins = per_shard_pinned[s]
-            if len(pins) > shard_capacity:
-                raise PinningError(
-                    f"shard {s} holds {len(pins)} pinned pages but only "
-                    f"{shard_capacity} slots; repartition or grow the "
-                    "buffer"
-                )
-            if policy == "random":
-                pool = POLICIES["random"](
-                    shard_capacity,
-                    pins,
-                    rng=np.random.default_rng(int(rng) + s),
-                )
-            else:
-                pool = POLICIES[policy](shard_capacity, pins)
-            pools.append(pool)
-        self._pools: tuple[BufferPool, ...] = tuple(pools)
+        self._pools: tuple[BufferPool, ...] = tuple(
+            build_shard_pool(
+                shard_capacity, pins, policy, shard=s, rng=rng
+            )
+            for s, (shard_capacity, pins) in enumerate(
+                zip(shard_capacities, per_shard_pinned)
+            )
+        )
         self._locks: tuple[threading.Lock, ...] = tuple(
             threading.Lock() for _ in range(shards)
         )
@@ -154,6 +196,23 @@ class ShardedBufferPool:
         shard = hash(page) % self.n_shards
         with self._locks[shard]:
             return self._pools[shard].request(page)
+
+    def request_batch(self, pages) -> int:
+        """Access every page in ``pages`` in order; returns the hit count.
+
+        Equivalent to ``sum(self.request(int(p)) for p in pages)`` —
+        the serving engine's one-call-per-micro-batch entry point, and
+        the exact stream the process-per-shard topology reproduces:
+        within a batch, each shard sees the subsequence of ``pages``
+        hashed to it, in stream order, which is all any per-shard
+        policy pool's state depends on.
+        """
+        hits = 0
+        request = self.request
+        for page in pages:
+            if request(int(page)):
+                hits += 1
+        return hits
 
     # ------------------------------------------------------------------
     # Accounting — the sum-reconciliation surface

@@ -20,6 +20,10 @@ so the validation experiments can be scaled up toward the paper's
 * ``REPRO_SERVE_SHARDS`` (default 1: buffer shards K for the serving
   probes; K=1 reproduces the batch simulator bit-exactly, see
   ``docs/SERVING.md``)
+* ``REPRO_SERVE_WORKERS`` (default 0: in-process serving; ``>= 1``
+  runs the serving probe with that many buffer shards, each in its
+  own fork worker process — overrides ``REPRO_SERVE_SHARDS``, counters
+  bit-identical either way, see ``docs/SERVING.md``)
 * ``REPRO_SERVE_TELEMETRY`` (a path: stream live serving telemetry
   there as ``repro-telemetry/1`` JSONL — the env twin of
   ``runner --telemetry-out``; empty/unset disables the sink)
@@ -29,6 +33,9 @@ so the validation experiments can be scaled up toward the paper's
   ``REPRO_SERVE_SLO_BUDGET`` (defaults 50 / 0.0 / 0.01: the SLO
   monitor's p99 target, hit-ratio floor and error budget for
   telemetry-enabled probes)
+* ``REPRO_SERVE_SLO_FAST_TICKS`` / ``REPRO_SERVE_SLO_SLOW_TICKS``
+  (defaults 5 / 60: the multiwindow alert's fast and slow trailing
+  windows, in ticks — the monitor alerts only when both burn)
 """
 
 from __future__ import annotations
@@ -60,6 +67,7 @@ __all__ = [
     "serve_slo",
     "serve_telemetry",
     "serve_telemetry_interval_s",
+    "serve_workers",
     "sim_batches",
     "sim_queries_per_batch",
     "sim_workers",
@@ -109,6 +117,23 @@ def serve_shards() -> int:
     return shards
 
 
+def serve_workers() -> int:
+    """Process workers for serving probes (default 0 = in-process).
+
+    ``K >= 1`` serves through ``K`` buffer shards, each owned by a
+    long-lived fork worker process (``QueryService(...,
+    worker_processes=True)``) — this *sets* the shard count, so it
+    overrides ``REPRO_SERVE_SHARDS`` when both are given.  Buffer
+    counters are bit-identical to the in-process sharded pool at the
+    same K (see ``docs/SERVING.md``); platforms without the ``fork``
+    start method silently fall back in-process.
+    """
+    workers = int(os.environ.get("REPRO_SERVE_WORKERS", "0"))
+    if workers < 0:
+        raise ValueError("REPRO_SERVE_WORKERS must be >= 0")
+    return workers
+
+
 def serve_telemetry() -> str | None:
     """Telemetry stream path for serving probes (None = disabled).
 
@@ -129,24 +154,33 @@ def serve_telemetry_interval_s() -> float:
     return interval_ms / 1000.0
 
 
-def serve_slo() -> tuple[float, float, float]:
-    """``(p99_target_us, hit_ratio_floor, budget)`` for the SLO monitor.
+def serve_slo() -> tuple[float, float, float, int, int]:
+    """``(p99_target_us, hit_ratio_floor, budget, fast, slow)`` for the SLO.
 
     Defaults: 50 ms p99 (generous for smoke-sized probes on shared CI
     hosts), a 0.0 hit-ratio floor (never burns — raise it per run when
-    the Eq. 5/6 prediction for the configuration is known), and a 1%
-    error budget.
+    the Eq. 5/6 prediction for the configuration is known), a 1%
+    error budget, and 5-tick fast / 60-tick slow alert windows (the
+    monitor pages only when both burn above 1.0).
     """
     p99_ms = float(os.environ.get("REPRO_SERVE_SLO_P99_MS", "50"))
     hit_floor = float(os.environ.get("REPRO_SERVE_SLO_HIT_FLOOR", "0.0"))
     budget = float(os.environ.get("REPRO_SERVE_SLO_BUDGET", "0.01"))
+    fast = int(os.environ.get("REPRO_SERVE_SLO_FAST_TICKS", "5"))
+    slow = int(os.environ.get("REPRO_SERVE_SLO_SLOW_TICKS", "60"))
     if p99_ms <= 0:
         raise ValueError("REPRO_SERVE_SLO_P99_MS must be positive")
     if not 0.0 <= hit_floor <= 1.0:
         raise ValueError("REPRO_SERVE_SLO_HIT_FLOOR must be in [0, 1]")
     if not 0.0 < budget <= 1.0:
         raise ValueError("REPRO_SERVE_SLO_BUDGET must be in (0, 1]")
-    return p99_ms * 1000.0, hit_floor, budget
+    if fast < 1:
+        raise ValueError("REPRO_SERVE_SLO_FAST_TICKS must be >= 1")
+    if slow < fast:
+        raise ValueError(
+            "REPRO_SERVE_SLO_SLOW_TICKS must be >= REPRO_SERVE_SLO_FAST_TICKS"
+        )
+    return p99_ms * 1000.0, hit_floor, budget, fast, slow
 
 
 def _generate_dataset(name: str, n: int | None) -> RectArray:

@@ -38,6 +38,7 @@ from .common import (
     serve_slo,
     serve_telemetry,
     serve_telemetry_interval_s,
+    serve_workers,
     sim_workers,
 )
 
@@ -368,6 +369,15 @@ def run_serve_probe(
     honours ``REPRO_SERVE_SHARDS`` (default 1 — the paper-exact single
     buffer); ``telemetry_out=None`` honours ``REPRO_SERVE_TELEMETRY``.
 
+    ``REPRO_SERVE_WORKERS=K`` (K >= 1) moves the buffer into the
+    process-per-shard topology: the probe serves through K shards,
+    each owned by a fork worker process (overriding
+    ``REPRO_SERVE_SHARDS`` — the worker count *is* the shard count).
+    Counters are bit-identical to the in-process pool at the same K;
+    the probe dict and the telemetry header record
+    ``worker_processes`` so runs are never compared across topologies
+    silently.
+
     With telemetry on, a :class:`~repro.obs.TelemetrySink` samples the
     service every ``REPRO_SERVE_TELEMETRY_INTERVAL_MS`` during the
     run; the stream header carries the probe configuration and the
@@ -382,7 +392,12 @@ def run_serve_probe(
             f"unknown probe workload {spec.workload!r}; "
             f"choices: {sorted(_WORKLOAD_FACTORIES)}"
         ) from None
-    if shards is None:
+    worker_procs = serve_workers()
+    if worker_procs > 0:
+        # The process topology is one worker per shard, so the worker
+        # count sets K — an explicit REPRO_SERVE_SHARDS is overridden.
+        shards = worker_procs
+    elif shards is None:
         shards = serve_shards()
     data = get_dataset(spec.dataset, spec.n)
     desc = get_description(spec.dataset, spec.n, spec.capacity, spec.loader)
@@ -395,6 +410,7 @@ def run_serve_probe(
         max_batch=spec.max_batch,
         max_wait_us=spec.max_wait_us,
         pinned_levels=spec.pinned_levels,
+        worker_processes=worker_procs > 0,
         expected_queries=spec.n_queries,
     )
     key_points = None
@@ -421,7 +437,7 @@ def run_serve_probe(
         prediction = buffer_model(
             desc, workload, spec.buffer_size, spec.pinned_levels
         )
-        p99_target_us, hit_floor, budget = serve_slo()
+        p99_target_us, hit_floor, budget, fast, slow = serve_slo()
         sink = TelemetrySink(
             service,
             interval_s=serve_telemetry_interval_s(),
@@ -429,9 +445,16 @@ def run_serve_probe(
                 p99_target_us=p99_target_us,
                 hit_ratio_floor=hit_floor,
                 budget=budget,
+                fast_window=fast,
+                slow_window=slow,
             ),
             path=telemetry_out,
-            config={**spec.as_dict(), "shards": shards, "workers": workers},
+            config={
+                **spec.as_dict(),
+                "shards": shards,
+                "workers": workers,
+                "worker_processes": service.worker_processes,
+            },
             model={
                 "hit_ratio": prediction.hit_ratio,
                 "disk_accesses": prediction.disk_accesses,
@@ -449,9 +472,11 @@ def run_serve_probe(
         if sink is not None:
             # The generator has drained, so the close-time final tick
             # carries cumulative counters equal to aggregate_stats() —
-            # the reconciliation the export validator enforces.
+            # the reconciliation the export validator enforces.  The
+            # sink must close before the pool: the final tick samples
+            # shard stats, which process workers serve over IPC.
             sink.close()
-        service.stop()
+        service.close()
     if sink is not None:
         telemetry_ptr = sink.pointer()
     if registry is not None:

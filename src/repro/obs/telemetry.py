@@ -102,9 +102,19 @@ class SLOMonitor:
     configured target or is a **bad tick**.  With an error budget
     ``budget`` (the allowed fraction of bad ticks), the burn rate is
     ``bad_fraction / budget`` — 1.0 means violating at exactly the
-    budgeted rate, above 1.0 the budget is being exhausted.  Both a
-    cumulative and a trailing-window burn rate are reported, the
-    standard fast-burn/slow-burn pair.
+    budgeted rate, above 1.0 the budget is being exhausted.
+
+    **Alerting is multiwindow**: the monitor keeps a *fast* trailing
+    window (default 5 ticks) and a *slow* one (default 60 ticks) and
+    raises ``alerting`` only when **both** burn above 1.0 — the
+    standard multiwindow multi-burn-rate recipe.  The fast window
+    alone is noisy (one bad tick in five burns at 20× budget); the
+    slow window alone pages long after the incident started; requiring
+    both means "it is bad *right now* and it has been bad for a
+    while".  The cumulative burn (``budget_exhausted``) is still
+    reported for whole-run accounting, but it is no longer the alert
+    signal — a run that burned its budget in a warm-up spike would
+    otherwise page forever.
 
     Deterministic and single-threaded by design: the monitor holds no
     lock and must only be driven by the sink's tick path (which holds
@@ -119,6 +129,8 @@ class SLOMonitor:
         hit_ratio_floor: float | None = None,
         budget: float = 0.01,
         window: int = 20,
+        fast_window: int = 5,
+        slow_window: int = 60,
     ) -> None:
         if p99_target_us is None and hit_ratio_floor is None:
             raise ValueError(
@@ -133,10 +145,17 @@ class SLOMonitor:
             raise ValueError("budget must be in (0, 1]")
         if window < 1:
             raise ValueError("window must be >= 1")
+        if fast_window < 1:
+            raise ValueError("fast_window must be >= 1")
+        if slow_window < fast_window:
+            raise ValueError("slow_window must be >= fast_window")
         self.p99_target_us = p99_target_us
         self.hit_ratio_floor = hit_ratio_floor
         self.budget = float(budget)
         self.window = int(window)
+        self.fast_window = int(fast_window)
+        self.slow_window = int(slow_window)
+        self._history = max(self.window, self.slow_window)
         self._ticks = 0
         self._bad = 0
         self._recent: list[int] = []
@@ -149,6 +168,8 @@ class SLOMonitor:
             "hit_ratio_floor": self.hit_ratio_floor,
             "budget": self.budget,
             "window": self.window,
+            "fast_window": self.fast_window,
+            "slow_window": self.slow_window,
         }
 
     def observe(
@@ -183,7 +204,7 @@ class SLOMonitor:
             self._ticks += 1
             self._bad += 1 if bad else 0
             self._recent.append(1 if bad else 0)
-            while len(self._recent) > self.window:
+            while len(self._recent) > self._history:
                 self._recent.pop(0)
         return {
             "counted": counted,
@@ -193,19 +214,33 @@ class SLOMonitor:
             **self.summary(),
         }
 
+    def _trailing_burn(self, length: int) -> float:
+        """Burn rate over the trailing ``length`` counted ticks."""
+        recent = self._recent[-length:]
+        if not recent:
+            return 0.0
+        return (sum(recent) / len(recent)) / self.budget
+
     def summary(self) -> dict[str, Any]:
-        """Cumulative budget accounting (also embedded in every tick)."""
+        """Budget accounting (also embedded in every tick).
+
+        ``alerting`` is the page signal: both the fast and the slow
+        trailing windows burning above 1.0.  The cumulative
+        ``budget_exhausted`` stays for whole-run verdicts.
+        """
         bad_fraction = self._bad / self._ticks if self._ticks else 0.0
-        window_fraction = (
-            sum(self._recent) / len(self._recent) if self._recent else 0.0
-        )
         burn_rate = bad_fraction / self.budget
+        fast_burn = self._trailing_burn(self.fast_window)
+        slow_burn = self._trailing_burn(self.slow_window)
         return {
             "ticks": self._ticks,
             "bad_ticks": self._bad,
             "bad_fraction": bad_fraction,
             "burn_rate": burn_rate,
-            "window_burn_rate": window_fraction / self.budget,
+            "window_burn_rate": self._trailing_burn(self.window),
+            "fast_burn_rate": fast_burn,
+            "slow_burn_rate": slow_burn,
+            "alerting": fast_burn > 1.0 and slow_burn > 1.0,
             "budget_exhausted": burn_rate > 1.0,
         }
 

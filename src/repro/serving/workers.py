@@ -1,0 +1,526 @@
+"""Process-per-shard serving workers: shards that really run in parallel.
+
+`QueryService`'s in-process :class:`~repro.buffer.ShardedBufferPool`
+removes *lock* contention between micro-batches, but every shard still
+executes on one GIL — K shards buy zero throughput on a multi-core
+host.  This module moves each shard into a long-lived fork worker
+process that owns the shard's policy pool outright, turning the
+page-request loop — the serving hot path the GIL serializes — into K
+truly concurrent loops.
+
+Topology
+--------
+
+The parent (the :class:`ProcessShardedBufferPool`) plans the capacity
+and pin split with the *same*
+:func:`~repro.buffer.sharded.plan_shard_split` the in-process pool
+uses, then forks one worker per shard.  Each worker builds its pool
+via :func:`~repro.buffer.sharded.build_shard_pool` — structurally
+identical to in-process shard ``s``, including the ``random`` policy's
+``rng + s`` seeding — and sits in a request loop on its pipe.
+
+IPC framing
+-----------
+
+Everything on the hot path is fixed-dtype numpy over
+``Connection.send_bytes`` — no pickling per request:
+
+* parent → worker: a 16-byte ``<qq`` header ``(opcode, count)``
+  followed by ``count`` int64 page ids (the shard's hash-filtered
+  subsequence of the micro-batch, in stream order).
+* worker → parent: one 40-byte frame of five int64s —
+  ``(pid, start_ns, cpu_ns, end_ns, value)``.  The timing triple uses
+  the fork-shared ``CLOCK_MONOTONIC`` epoch, so the parent replays it
+  as a ``serve.shard`` span (same recipe as the sharded sweep's
+  ``stackdist.shard`` spans).
+
+Stats snapshots ride shared memory instead of the pipe: the parent
+owns one :class:`~repro.simulation.shard.SharedArray` of
+``4 * K`` int64 slots and hands each worker a pid-addressed
+:class:`~repro.simulation.shard.WriteGrant` over its own four —
+``REPRO_SANITIZE=1`` patches ``WriteGrant.writable`` to reject any
+other process mapping the slice.  A stats request is a bare opcode;
+the worker publishes ``(requests, hits, misses, evictions)`` into its
+slots and acks, and the parent reads its owner view after the ack —
+the ack *is* the happens-before edge.
+
+Exactness
+---------
+
+The contract mirrors the sharded sweep's (docs/PARALLELISM.md):
+``aggregate_stats()`` and ``shard_stats()`` are bit-exact against the
+in-process :class:`~repro.buffer.ShardedBufferPool` for any worker
+count, because a policy pool's state depends only on the subsequence
+of requests it sees, in order — and the parent partitions each batch
+by the *identical* hash (``page % K == hash(page) % K`` for the
+non-negative int page ids the stabbers emit) while preserving stream
+order within every shard.  K=1 therefore stays bit-exact against
+``simulate()`` through the same argument as the in-process pool.
+
+Lifecycle
+---------
+
+Workers are daemonic fork children reaped by :meth:`close` (STOP
+opcode → join → terminate stragglers → dispose the stats segment,
+owner-only per RL012).  A worker death or pipe breakage surfaces as
+:class:`ServiceError` — never a hang: every await polls the pipe with
+the worker's liveness and an overall deadline.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import struct
+import threading
+import time
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..buffer.base import BufferStats, PageId
+from ..buffer.sharded import build_shard_pool, plan_shard_split
+from ..obs.spans import current_tracer
+from ..simulation.shard import (
+    SharedArray,
+    _report_end,
+    _report_start,
+    fork_available,
+)
+
+__all__ = ["ProcessShardedBufferPool", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A serving worker died, timed out, or was used after close."""
+
+
+# One request/reply vocabulary.  REQUEST carries the page payload;
+# STATS/RESET/LEN/FULL/STOP are bare opcodes; CONTAINS carries one id.
+_OP_REQUEST = 1
+_OP_STATS = 2
+_OP_RESET = 3
+_OP_LEN = 4
+_OP_CONTAINS = 5
+_OP_FULL = 6
+_OP_STOP = 7
+
+_HEADER = struct.Struct("<qq")
+_STATS_FIELDS = 4  # requests, hits, misses, evictions
+_REPLY_FIELDS = 5  # pid, start_ns, cpu_ns, end_ns, value
+
+
+def _frame(opcode: int, payload: np.ndarray | None = None) -> bytes:
+    """One parent → worker frame: ``<qq`` header + int64 payload."""
+    if payload is None or payload.size == 0:
+        return _HEADER.pack(opcode, 0)
+    payload = np.ascontiguousarray(payload, dtype=np.int64)
+    return _HEADER.pack(opcode, payload.size) + payload.tobytes()
+
+
+def _reply(conn, report: dict, value: int) -> None:
+    """One worker → parent frame: timing triple + int64 result."""
+    done = _report_end(report)
+    frame = np.array(
+        [done["pid"], done["start_ns"], done["cpu_ns"], done["end_ns"],
+         int(value)],
+        dtype=np.int64,
+    )
+    conn.send_bytes(frame.tobytes())
+
+
+def _worker_main(
+    conn,
+    shard: int,
+    shard_capacity: int,
+    pins: list[PageId],
+    policy: str,
+    rng: int,
+) -> None:
+    """One shard worker: build the pool, then serve opcodes until STOP.
+
+    The first message is the pid-addressed stats grant (pickled — the
+    parent learns the pid only after ``start()``); the ready ack that
+    follows doubles as the startup handshake, so construction errors
+    surface in the parent as a dead worker, not a hang.
+    """
+    grant = conn.recv()
+    stats_w = grant.writable()
+    pool = build_shard_pool(shard_capacity, pins, policy, shard=shard, rng=rng)
+    _reply(conn, _report_start(), 0)
+    while True:
+        try:
+            frame = conn.recv_bytes()
+        except (EOFError, OSError):  # parent gone: die quietly
+            return
+        report = _report_start()
+        opcode, count = _HEADER.unpack_from(frame)
+        payload = np.frombuffer(
+            frame, dtype=np.int64, offset=_HEADER.size, count=count
+        )
+        if opcode == _OP_REQUEST:
+            hits = 0
+            request = pool.request
+            for page in payload:
+                if request(int(page)):
+                    hits += 1
+            value = hits
+        elif opcode == _OP_STATS:
+            stats = pool.stats
+            stats_w[0] = stats.requests
+            stats_w[1] = stats.hits
+            stats_w[2] = stats.misses
+            stats_w[3] = stats.evictions
+            value = 0
+        elif opcode == _OP_RESET:
+            pool.stats.reset()
+            value = 0
+        elif opcode == _OP_LEN:
+            value = len(pool)
+        elif opcode == _OP_CONTAINS:
+            value = 1 if int(payload[0]) in pool else 0
+        elif opcode == _OP_FULL:
+            value = 1 if pool.is_full() else 0
+        else:  # _OP_STOP (or anything unrecognized): ack and exit
+            _reply(conn, report, 0)
+            return
+        _reply(conn, report, value)
+
+
+class ProcessShardedBufferPool:
+    """``K`` shard pools in ``K`` fork worker processes, one ``request()``.
+
+    Duck-type compatible with
+    :class:`~repro.buffer.ShardedBufferPool` — the service, the load
+    generator, and the telemetry sink consume either without knowing
+    which they hold — plus a :meth:`close` that reaps the workers.
+    All cross-worker operations (a batch, a stats sweep, a reset) run
+    as one transaction under the pool lock: send to every involved
+    worker first, then collect every reply, so K workers execute their
+    slices concurrently while concurrent *callers* (dispatcher
+    threads, the telemetry ticker) serialize at batch granularity.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        shards: int = 1,
+        *,
+        policy: str = "lru",
+        pinned: Iterable[PageId] = (),
+        rng: int = 0,
+        timeout_s: float = 60.0,
+    ) -> None:
+        if not fork_available():
+            raise ServiceError(
+                "process workers need the fork start method; use the "
+                "in-process ShardedBufferPool on this platform"
+            )
+        pinned_set, shard_capacities, per_shard_pins = plan_shard_split(
+            capacity, shards, policy, pinned
+        )
+        self.capacity = int(capacity)
+        self.n_shards = int(shards)
+        self.policy = policy
+        self.pinned = pinned_set
+        self._shard_capacities = tuple(shard_capacities)
+        self._timeout_s = float(timeout_s)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._broken: str | None = None
+        self._stats_seg: SharedArray | None = None
+        self._conns: list = []
+        self._procs: list = []
+        ctx = multiprocessing.get_context("fork")
+        try:
+            self._stats_seg = SharedArray.create(
+                _STATS_FIELDS * self.n_shards, np.int64
+            )
+            for s in range(self.n_shards):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        child_conn,
+                        s,
+                        shard_capacities[s],
+                        per_shard_pins[s],
+                        policy,
+                        int(rng),
+                    ),
+                    name=f"serve-shard-{s}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+                grant = self._stats_seg.grant(
+                    s * _STATS_FIELDS, (s + 1) * _STATS_FIELDS, pid=proc.pid
+                )
+                parent_conn.send(grant)
+            for s in range(self.n_shards):  # startup handshake
+                self._await(s)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._broken is not None:
+            raise ServiceError(self._broken)
+        if self._closed:
+            raise ServiceError("pool is closed")
+
+    def _fail(self, message: str) -> None:
+        self._broken = message
+        raise ServiceError(message)
+
+    def _send(self, s: int, opcode: int, payload=None) -> None:
+        try:
+            self._conns[s].send_bytes(_frame(opcode, payload))
+        except (OSError, ValueError):
+            self._fail(
+                f"shard worker {s} (pid {self._procs[s].pid}) is gone: "
+                "pipe closed mid-send"
+            )
+
+    def _await(self, s: int) -> np.ndarray:
+        """Collect one reply frame from worker ``s`` — or raise, never hang.
+
+        Polls the pipe against the worker's liveness and an overall
+        deadline; a SIGKILLed worker surfaces as :class:`ServiceError`
+        within one poll interval.
+        """
+        conn, proc = self._conns[s], self._procs[s]
+        deadline = time.monotonic() + self._timeout_s
+        while not conn.poll(0.05):
+            if not proc.is_alive():
+                self._fail(
+                    f"shard worker {s} (pid {proc.pid}) died with exit "
+                    f"code {proc.exitcode}"
+                )
+            if time.monotonic() > deadline:
+                self._fail(
+                    f"shard worker {s} (pid {proc.pid}) timed out after "
+                    f"{self._timeout_s:.0f}s"
+                )
+        try:
+            frame = conn.recv_bytes()
+        except (EOFError, OSError):
+            self._fail(f"shard worker {s} (pid {proc.pid}) closed its pipe")
+        return np.frombuffer(frame, dtype=np.int64, count=_REPLY_FIELDS)
+
+    @staticmethod
+    def _replay(replies: list[tuple[int, int, np.ndarray]]) -> None:
+        """Replay worker request rounds as ``serve.shard`` spans."""
+        tracer = current_tracer()
+        if tracer is None:
+            return
+        for shard, pages, reply in replies:
+            tracer.record_completed(
+                "serve.shard",
+                start_ns=int(reply[1]),
+                end_ns=int(reply[3]),
+                cpu_ns=int(reply[2]),
+                worker=int(reply[0]),
+                shard=shard,
+                pages=pages,
+                pid=int(reply[0]),
+            )
+
+    # ------------------------------------------------------------------
+    # Partitioning
+    # ------------------------------------------------------------------
+    def shard_of(self, page: PageId) -> int:
+        """The home shard of ``page`` — identical to the in-process pool."""
+        return hash(page) % self.n_shards
+
+    # ------------------------------------------------------------------
+    # The hot path
+    # ------------------------------------------------------------------
+    def request_batch(self, pages) -> int:
+        """Access every page in ``pages`` in stream order; returns hits.
+
+        Partitions the batch by home shard — ``pages % K`` is exactly
+        ``hash(page) % K`` for the stabbers' non-negative int ids, and
+        a boolean-mask take preserves stream order within each shard —
+        ships each subsequence to its worker, and collects hit counts.
+        All K workers chew their slices concurrently; this is the
+        multi-core win the in-process pool cannot deliver.
+        """
+        pages = np.ascontiguousarray(pages, dtype=np.int64)
+        replies: list[tuple[int, int, np.ndarray]] = []
+        hits = 0
+        with self._lock:
+            self._check_open()
+            shard_ids = pages % self.n_shards
+            sent: list[tuple[int, int]] = []
+            for s in range(self.n_shards):
+                sub = pages[shard_ids == s]
+                if sub.size == 0:
+                    continue
+                self._send(s, _OP_REQUEST, sub)
+                sent.append((s, int(sub.size)))
+            for s, count in sent:
+                reply = self._await(s)
+                hits += int(reply[4])
+                replies.append((s, count, reply))
+        self._replay(replies)
+        return hits
+
+    def request(self, page: PageId) -> bool:
+        """Access one page through its home shard worker; True on a hit."""
+        page = int(page)
+        s = hash(page) % self.n_shards
+        with self._lock:
+            self._check_open()
+            self._send(s, _OP_REQUEST, np.array([page], dtype=np.int64))
+            return bool(self._await(s)[4])
+
+    # ------------------------------------------------------------------
+    # Accounting — the sum-reconciliation surface
+    # ------------------------------------------------------------------
+    def shard_stats(self) -> tuple[BufferStats, ...]:
+        """Per-shard counter snapshots via the stats shared segment.
+
+        One bare STATS opcode per worker; each worker publishes its
+        four counters into its pid-addressed grant slots and acks.
+        The whole sweep is one transaction under the pool lock, so the
+        K snapshots are mutually consistent the same way the
+        in-process pool's under-each-lock sweep is.
+        """
+        with self._lock:
+            self._check_open()
+            for s in range(self.n_shards):
+                self._send(s, _OP_STATS)
+            for s in range(self.n_shards):
+                self._await(s)
+            flat = self._stats_seg.array.copy()
+        snapshots = []
+        for s in range(self.n_shards):
+            stats = BufferStats()
+            base = s * _STATS_FIELDS
+            stats.requests = int(flat[base + 0])
+            stats.hits = int(flat[base + 1])
+            stats.misses = int(flat[base + 2])
+            stats.evictions = int(flat[base + 3])
+            snapshots.append(stats)
+        return tuple(snapshots)
+
+    def aggregate_stats(self) -> BufferStats:
+        """Counters summed over shards — the single-pool view."""
+        totals = BufferStats()
+        for snapshot in self.shard_stats():
+            totals.requests += snapshot.requests
+            totals.hits += snapshot.hits
+            totals.misses += snapshot.misses
+            totals.evictions += snapshot.evictions
+        return totals
+
+    def reset_stats(self) -> None:
+        """Zero every shard's counters (one transaction)."""
+        with self._lock:
+            self._check_open()
+            for s in range(self.n_shards):
+                self._send(s, _OP_RESET)
+            for s in range(self.n_shards):
+                self._await(s)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def unpinned_capacity(self) -> int:
+        """Pages available to replacement, summed over shards."""
+        return self.capacity - len(self.pinned)
+
+    def shard_capacities(self) -> tuple[int, ...]:
+        """Each shard's total capacity (sums to ``capacity``)."""
+        return self._shard_capacities
+
+    def is_full(self) -> bool:
+        """True once every shard's unpinned area is full."""
+        with self._lock:
+            self._check_open()
+            for s in range(self.n_shards):
+                self._send(s, _OP_FULL)
+            return all(
+                bool(self._await(s)[4]) for s in range(self.n_shards)
+            )
+
+    def __contains__(self, page: PageId) -> bool:
+        page = int(page)
+        s = hash(page) % self.n_shards
+        with self._lock:
+            self._check_open()
+            self._send(s, _OP_CONTAINS, np.array([page], dtype=np.int64))
+            return bool(self._await(s)[4])
+
+    def __len__(self) -> int:
+        """Resident pages over all shards, pinned included."""
+        with self._lock:
+            self._check_open()
+            for s in range(self.n_shards):
+                self._send(s, _OP_LEN)
+            return sum(
+                int(self._await(s)[4]) for s in range(self.n_shards)
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Reap every worker and dispose the stats segment (idempotent).
+
+        STOP the live workers, join with a timeout, terminate
+        stragglers, then unlink the shared segment — creator-only,
+        the RL012 ownership the sanitizer enforces.  Safe to call on a
+        broken pool: dead workers are skipped, resources still freed.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for s, (conn, proc) in enumerate(zip(self._conns, self._procs)):
+                if proc.is_alive():
+                    try:
+                        conn.send_bytes(_frame(_OP_STOP))
+                    except (OSError, ValueError):
+                        pass
+            for conn, proc in zip(self._conns, self._procs):
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+            if (
+                self._stats_seg is not None
+                and os.getpid() == self._stats_seg.created_pid
+            ):
+                self._stats_seg.release_grants()
+                self._stats_seg.dispose()
+                self._stats_seg = None
+
+    def __enter__(self) -> "ProcessShardedBufferPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProcessShardedBufferPool(capacity={self.capacity}, "
+            f"shards={self.n_shards}, policy={self.policy!r})"
+        )

@@ -114,11 +114,18 @@ class WriteGrant(NamedTuple):
     construction, not by convention.  Grants are issued by the owning
     parent (:meth:`SharedArray.grant`), which keeps the ledger the
     sanitizer checks for overlaps.
+
+    A grant may additionally be addressed to one process: when ``pid``
+    is set, only that process is meant to map the slice writable.  The
+    serving worker topology uses this to give each long-lived shard
+    worker exclusive write access to its stats slots; the sanitizer
+    patches :meth:`writable` to enforce the address at map time.
     """
 
     spec: ShmSpec
     lo: int
     hi: int
+    pid: int | None = None
 
     def writable(self) -> np.ndarray:
         """The granted slice as a writable view (worker side)."""
@@ -176,17 +183,21 @@ class SharedArray:
         """The owner's writable full view."""
         return np.ndarray((self.length,), dtype=self.dtype, buffer=self._shm.buf)
 
-    def grant(self, lo: int, hi: int) -> WriteGrant:
+    def grant(self, lo: int, hi: int, *, pid: int | None = None) -> WriteGrant:
         """Grant write access to ``[lo, hi)`` (parent side).
 
         The ledger of outstanding grants is kept per phase; the
         sanitizer patches this method to reject overlapping grants,
         the static shape (a view that *is* the slice) does the rest.
+        ``pid`` addresses the grant to one process (see
+        :class:`WriteGrant`).
         """
         if not 0 <= lo <= hi <= self.length:
             raise ValueError(f"grant [{lo}, {hi}) outside [0, {self.length})")
         self._grants.append((int(lo), int(hi)))
-        return WriteGrant(self.spec, int(lo), int(hi))
+        return WriteGrant(
+            self.spec, int(lo), int(hi), None if pid is None else int(pid)
+        )
 
     def release_grants(self) -> None:
         """Drop the grant ledger at a phase barrier (all futures done)."""

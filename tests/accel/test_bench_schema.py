@@ -130,6 +130,17 @@ class TestCommittedReport:
         # The observability tax: a live sink (ticker + JSONL stream)
         # may cost at most 10% of telemetry-free serving throughput.
         assert telemetry["seconds"] <= 1.10 * telemetry["dense_seconds"]
+        multicore = by_kernel["serving_multicore"]
+        assert multicore["n_points"] >= 100_000
+        assert multicore["unit"] == "queries/s"
+        # No speedup floor, same policy as sweep_parallel: the
+        # process-vs-in-process ratio tracks the host (lock-free
+        # worker-owned shards can beat the in-process pool even on one
+        # CPU, but the ratio is only a scaling claim on multi-core
+        # hosts).  The record's value is the per-shard bit-exactness
+        # assertion inside the benchmark and the ledger tracking the
+        # ratio per host.
+        assert multicore["speedup_vs_dense"] > 0
 
 
 class TestBuildReport:
@@ -147,6 +158,7 @@ class TestBuildReport:
                 bench._bench_serving_throughput(_rng(rng_seed), 200, 300),
                 bench._bench_serving_latency(_rng(rng_seed), 200, 300),
                 bench._bench_telemetry_overhead(_rng(rng_seed), 200, 300),
+                bench._bench_serving_multicore(_rng(rng_seed), 200, 300),
             ],
         }
         assert bench.validate_report(report) == []

@@ -206,6 +206,31 @@ class TestSharedMemoryDiscipline:
         arr.created_pid = os.getpid()
         arr.dispose()
 
+    def test_pid_addressed_grant_refuses_foreign_process(self, sanitizer):
+        # The serving pool addresses each stats grant to one worker
+        # pid; materializing it anywhere else is the cross-process
+        # analogue of a cross-thread write.
+        arr = SharedArray.create(10, np.int64)
+        try:
+            foreign = arr.grant(0, 5, pid=os.getpid() + 1)
+            with pytest.raises(SanitizerError, match="pid"):
+                foreign.writable()
+            ours = arr.grant(5, 10, pid=os.getpid())
+            ours.writable()[:] = 7  # addressed to us: fine
+        finally:
+            arr.release_grants()
+            arr.dispose()
+
+    def test_unaddressed_grant_stays_legal(self, sanitizer):
+        # pid=None keeps the PR-7 sweep semantics: any process that
+        # holds the grant may materialize it.
+        arr = SharedArray.create(10, np.int64)
+        try:
+            arr.grant(0, 10).writable()[:] = 1
+        finally:
+            arr.release_grants()
+            arr.dispose()
+
     @needs_plain_world
     def test_overlapping_grant_is_silent_without_sanitizer(self):
         assert not sanitize.is_installed()

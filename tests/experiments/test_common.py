@@ -122,6 +122,35 @@ class TestEnvKnobs:
         with pytest.raises(ValueError, match="SHARDS"):
             serve_shards()
 
+    def test_serve_workers(self, monkeypatch):
+        from repro.experiments.common import serve_workers
+
+        monkeypatch.delenv("REPRO_SERVE_WORKERS", raising=False)
+        assert serve_workers() == 0  # default: in-process pool
+        monkeypatch.setenv("REPRO_SERVE_WORKERS", "4")
+        assert serve_workers() == 4
+        monkeypatch.setenv("REPRO_SERVE_WORKERS", "-1")
+        with pytest.raises(ValueError, match="WORKERS"):
+            serve_workers()
+
+    def test_serve_slo_windows(self, monkeypatch):
+        from repro.experiments.common import serve_slo
+
+        for key in ("REPRO_SERVE_SLO_FAST_TICKS",
+                    "REPRO_SERVE_SLO_SLOW_TICKS"):
+            monkeypatch.delenv(key, raising=False)
+        assert serve_slo()[3:] == (5, 60)
+        monkeypatch.setenv("REPRO_SERVE_SLO_FAST_TICKS", "3")
+        monkeypatch.setenv("REPRO_SERVE_SLO_SLOW_TICKS", "12")
+        assert serve_slo()[3:] == (3, 12)
+        monkeypatch.setenv("REPRO_SERVE_SLO_SLOW_TICKS", "2")
+        with pytest.raises(ValueError, match="SLOW"):
+            serve_slo()
+        monkeypatch.setenv("REPRO_SERVE_SLO_SLOW_TICKS", "12")
+        monkeypatch.setenv("REPRO_SERVE_SLO_FAST_TICKS", "0")
+        with pytest.raises(ValueError, match="FAST"):
+            serve_slo()
+
 
 class TestTable:
     def test_render(self):

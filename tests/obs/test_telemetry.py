@@ -79,6 +79,8 @@ class TestSLOMonitor:
             {"p99_target_us": 100.0, "budget": 0.0},
             {"p99_target_us": 100.0, "budget": 1.5},
             {"p99_target_us": 100.0, "window": 0},
+            {"p99_target_us": 100.0, "fast_window": 0},
+            {"p99_target_us": 100.0, "fast_window": 5, "slow_window": 3},
         ],
     )
     def test_invalid_configuration_rejected(self, kwargs):
@@ -121,6 +123,53 @@ class TestSLOMonitor:
         slo = SLOMonitor(p99_target_us=100.0, hit_ratio_floor=0.9)
         status = slo.observe(p99_us=None, hit_ratio=None, requests=10)
         assert status["counted"] and not status["bad"]
+
+    def test_alert_requires_both_windows_burning(self):
+        # One bad tick burns the 2-tick fast window far above 1.0 but
+        # leaves the 8-tick slow window at budget — no alert.
+        slo = SLOMonitor(
+            p99_target_us=100.0, budget=0.125, fast_window=2, slow_window=8
+        )
+        for _ in range(7):
+            slo.observe(p99_us=1.0, hit_ratio=None, requests=1)
+        status = slo.observe(p99_us=500.0, hit_ratio=None, requests=1)
+        assert status["fast_burn_rate"] == pytest.approx(0.5 / 0.125)
+        assert status["slow_burn_rate"] == pytest.approx(1.0)
+        assert not status["alerting"]
+
+    def test_alert_fires_when_fast_and_slow_burn(self):
+        slo = SLOMonitor(
+            p99_target_us=100.0, budget=0.125, fast_window=2, slow_window=8
+        )
+        status = None
+        for _ in range(3):
+            status = slo.observe(p99_us=500.0, hit_ratio=None, requests=1)
+        assert status["fast_burn_rate"] > 1.0
+        assert status["slow_burn_rate"] > 1.0
+        assert status["alerting"]
+
+    def test_recovery_clears_the_alert(self):
+        # After an incident, good fast-window ticks stop the page even
+        # while the slow window (and the cumulative budget) still burn.
+        slo = SLOMonitor(
+            p99_target_us=100.0, budget=0.125, fast_window=2, slow_window=8
+        )
+        for _ in range(4):
+            slo.observe(p99_us=500.0, hit_ratio=None, requests=1)
+        assert slo.summary()["alerting"]
+        status = None
+        for _ in range(2):
+            status = slo.observe(p99_us=1.0, hit_ratio=None, requests=1)
+        assert status["fast_burn_rate"] == 0.0
+        assert status["slow_burn_rate"] > 1.0
+        assert not status["alerting"]
+        assert status["budget_exhausted"]  # whole-run verdict unchanged
+
+    def test_targets_carry_alert_windows(self):
+        slo = SLOMonitor(p99_target_us=100.0, fast_window=3, slow_window=30)
+        targets = slo.targets
+        assert targets["fast_window"] == 3
+        assert targets["slow_window"] == 30
 
 
 class TestSinkValidation:

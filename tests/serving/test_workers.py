@@ -1,0 +1,226 @@
+"""Process-per-shard workers: bit-exactness, lifecycle, telemetry.
+
+The contract under test is the tentpole's exactness claim: routing a
+micro-batch's page ids to K fork workers produces *identical* counters
+to the in-process :class:`ShardedBufferPool` for any worker count —
+per shard, not just in aggregate — because both sides split capacity
+and pins with the same planner and each shard sees the same page
+subsequence in the same order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.buffer import POLICIES, ShardedBufferPool
+from repro.obs.telemetry import TelemetrySink, read_telemetry, validate_telemetry
+from repro.packing import pack_description
+from repro.queries import UniformPointWorkload
+from repro.serving import ProcessShardedBufferPool, QueryService, ServiceError
+from repro.simulation import simulate
+from repro.simulation.shard import fork_available
+from tests.conftest import random_rects
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="process workers need fork"
+)
+
+
+@pytest.fixture(scope="module")
+def desc():
+    rng = np.random.default_rng(42)
+    return pack_description(random_rects(rng, 600), 10, "hs")
+
+
+def _stream(seed: int, n: int, universe: int = 400) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, universe, n, dtype=np.int64)
+
+
+class TestEquivalenceMatrix:
+    """workers x policy x pinning: dict-equal per shard and aggregate."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    @pytest.mark.parametrize("pinned", [(), (0, 7, 13, 201)])
+    def test_matches_in_process_pool(self, workers, policy, pinned):
+        capacity = 48
+        inproc = ShardedBufferPool(
+            capacity, workers, policy=policy, pinned=pinned
+        )
+        pages = _stream(11, 4000)
+        with ProcessShardedBufferPool(
+            capacity, workers, policy=policy, pinned=pinned
+        ) as procs:
+            assert procs.shard_capacities() == inproc.shard_capacities()
+            # Chunked admission: exactness must hold at every batch
+            # boundary, not only at the end of the stream.
+            for lo in range(0, len(pages), 700):
+                chunk = pages[lo : lo + 700]
+                assert procs.request_batch(chunk) == inproc.request_batch(
+                    chunk
+                )
+                assert [s.as_dict() for s in procs.shard_stats()] == [
+                    s.as_dict() for s in inproc.shard_stats()
+                ]
+            assert (
+                procs.aggregate_stats().as_dict()
+                == inproc.aggregate_stats().as_dict()
+            )
+            assert len(procs) == len(inproc)
+            assert procs.is_full() == inproc.is_full()
+
+    def test_single_requests_and_membership(self):
+        inproc = ShardedBufferPool(16, 3, policy="lru")
+        with ProcessShardedBufferPool(16, 3, policy="lru") as procs:
+            for page in _stream(5, 300, universe=60):
+                assert procs.request(int(page)) == inproc.request(int(page))
+            for page in range(60):
+                assert (page in procs) == (page in inproc)
+
+    def test_reset_stats_resets_every_shard(self):
+        with ProcessShardedBufferPool(16, 4) as procs:
+            procs.request_batch(_stream(3, 500))
+            procs.reset_stats()
+            assert procs.aggregate_stats().as_dict() == {
+                "requests": 0,
+                "hits": 0,
+                "misses": 0,
+                "evictions": 0,
+            }
+            # State (not just counters) survives the reset, as in-process.
+            occupancy = len(procs)
+            procs.request_batch(_stream(3, 500))
+            assert len(procs) >= occupancy
+
+
+class TestServiceExactness:
+    """K=1 process serving == the batch simulator, bit for bit."""
+
+    def test_k1_bit_exact_vs_simulate(self, desc):
+        workload = UniformPointWorkload()
+        n_batches, batch_size = 3, 400
+        result = simulate(
+            desc, workload, 20, pinned_levels=1,
+            n_batches=n_batches, batch_size=batch_size, rng=7,
+        )
+        total = result.warmup_queries + n_batches * batch_size
+        points = workload.sample_points(total, np.random.default_rng(7))
+
+        service = QueryService(
+            desc, workload, 20, shards=1, pinned_levels=1,
+            worker_processes=True,
+        )
+        try:
+            assert service.worker_processes
+            service.process(points[: result.warmup_queries])
+            service.pool.reset_stats()
+            for b in range(n_batches):
+                lo = result.warmup_queries + b * batch_size
+                service.process(points[lo : lo + batch_size])
+                assert (
+                    service.aggregate_stats().as_dict()
+                    == result.batch_stats[b].as_dict()
+                )
+                service.pool.reset_stats()
+        finally:
+            service.close()
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_service_matches_in_process_service(self, desc, shards):
+        workload = UniformPointWorkload()
+        points = workload.sample_points(1500, np.random.default_rng(5))
+        inproc = QueryService(desc, workload, 16, shards=shards)
+        procs = QueryService(
+            desc, workload, 16, shards=shards, worker_processes=True
+        )
+        try:
+            inproc.process(points)
+            procs.process(points)
+            assert [s.as_dict() for s in procs.pool.shard_stats()] == [
+                s.as_dict() for s in inproc.pool.shard_stats()
+            ]
+            assert (
+                procs.aggregate_stats().as_dict()
+                == inproc.aggregate_stats().as_dict()
+            )
+        finally:
+            procs.close()
+
+
+class TestLifecycle:
+    def test_close_reaps_workers(self):
+        pool = ProcessShardedBufferPool(16, 3)
+        procs = list(pool._procs)
+        assert all(p.is_alive() for p in procs)
+        pool.close()
+        assert all(not p.is_alive() for p in procs)
+        pool.close()  # idempotent
+
+    def test_closed_pool_refuses_requests(self):
+        pool = ProcessShardedBufferPool(16, 2)
+        pool.close()
+        with pytest.raises(ServiceError, match="closed"):
+            pool.request_batch(np.arange(5, dtype=np.int64))
+
+    def test_worker_crash_raises_not_hangs(self):
+        with ProcessShardedBufferPool(16, 2, timeout_s=30.0) as pool:
+            pool.request_batch(_stream(1, 100))
+            os.kill(pool._procs[1].pid, signal.SIGKILL)
+            # The dead worker must surface as ServiceError well before
+            # the timeout, and poison later operations too.
+            start = time.monotonic()
+            # Either detection path may win the race: liveness ("died
+            # with exit code") or pipe EOF ("closed its pipe") — both
+            # name the worker.
+            with pytest.raises(ServiceError, match="shard worker 1"):
+                for _ in range(50):
+                    pool.request_batch(_stream(2, 100))
+            assert time.monotonic() - start < 25.0
+            with pytest.raises(ServiceError):
+                pool.shard_stats()
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessShardedBufferPool(2, 4)  # capacity < shards
+        with pytest.raises(ValueError):
+            ProcessShardedBufferPool(16, 2, policy="nope")
+
+
+class TestTelemetryReconciliation:
+    """The sink's cumulative section must equal the pool's counters
+    even when every sample crosses the process boundary."""
+
+    def test_cumulative_equals_aggregate(self, desc, tmp_path):
+        workload = UniformPointWorkload()
+        service = QueryService(
+            desc, workload, 16, shards=2, worker_processes=True
+        )
+        path = tmp_path / "telemetry.jsonl"
+        try:
+            with open(path, "w") as fh:
+                sink = TelemetrySink(service, writer=fh)
+                rng = np.random.default_rng(2)
+                for _ in range(3):
+                    service.process(workload.sample_points(200, rng))
+                    tick = sink.tick()
+                sink.close()
+            assert (
+                tick["cumulative"]["aggregate"]
+                == service.aggregate_stats().as_dict()
+            )
+            per = [
+                {"shard_id": i, **s.as_dict()}
+                for i, s in enumerate(service.pool.shard_stats())
+            ]
+            assert tick["cumulative"]["shards"] == per
+            header, ticks = read_telemetry(str(path))
+            validate_telemetry(header, ticks)  # raises on drift
+        finally:
+            service.close()

@@ -235,6 +235,18 @@ def render(header: dict, ticks: list[dict], width: int = 30) -> str:
             f"{last_slo['window_burn_rate']:.2f}x  "
             f"{'BUDGET EXHAUSTED' if last_slo['budget_exhausted'] else 'within budget'}"
         )
+        # Multiwindow alerting (fast + slow burn) — absent from streams
+        # written before the multiwindow monitor landed.
+        if "alerting" in last_slo:
+            fast = slo_header.get("fast_window")
+            slow = slo_header.get("slow_window")
+            lines.append(
+                f"  fast burn ({fast} ticks): "
+                f"{last_slo['fast_burn_rate']:.2f}x  "
+                f"slow burn ({slow} ticks): "
+                f"{last_slo['slow_burn_rate']:.2f}x  "
+                f"{'ALERTING (both windows burning)' if last_slo['alerting'] else 'not alerting'}"
+            )
         lines.append("")
 
     return "\n".join(lines)
